@@ -1,0 +1,33 @@
+"""Benchmark harness helpers.
+
+Every bench reproduces one table or figure of the paper. Two kinds of
+numbers come out of each:
+
+* **simulated milliseconds/seconds** — the paper-comparable quantity,
+  deterministic, computed on the virtual clock; printed as a
+  paper-vs-measured table and written to ``benchmarks/results/``;
+* **real time** — what pytest-benchmark measures: the actual CPU cost
+  of the middleware code under test on this machine.
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_report(name: str, title: str, lines: list[str]) -> pathlib.Path:
+    """Persist a human-readable experiment report and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    text = "\n".join([title, "=" * len(title), *lines, ""])
+    path.write_text(text)
+    print("\n" + text)
+    return path
+
+
+def fmt_row(cells, widths) -> str:
+    return " | ".join(str(c).rjust(w) for c, w in zip(cells, widths))

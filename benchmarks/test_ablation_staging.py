@@ -1,0 +1,52 @@
+"""Ablation A — the staging-file bottleneck (§5.1).
+
+The paper: "the use of the temporary staging file during the process is
+a performance bottleneck, and we are working on a cleaner way of
+loading the warehouse directly from the normalized databases."
+This bench quantifies that future-work claim: the same Stage-1 sweep
+run through the staged pipeline vs the direct (no temp file) pipeline.
+"""
+
+import pytest
+
+from benchmarks.conftest import fmt_row, write_report
+from benchmarks.test_fig4_etl_warehouse import SIZES_KB, run_stage1
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    rows = []
+    for kb in SIZES_KB[1:]:
+        staged = run_stage1(kb, direct=False)
+        direct = run_stage1(kb, direct=True)
+        staged_total = staged.extraction_s + staged.loading_s
+        direct_total = direct.extraction_s + direct.loading_s
+        rows.append((kb, staged_total, direct_total))
+    widths = [10, 10, 10, 8]
+    lines = [fmt_row(["kB", "staged s", "direct s", "saved"], widths)]
+    for kb, s, d in rows:
+        lines.append(
+            fmt_row([f"{kb:.3f}", f"{s:.2f}", f"{d:.2f}", f"{(1 - d / s) * 100:.0f}%"], widths)
+        )
+    lines += ["", "direct loading skips the temp-file write+read and one stream open/close."]
+    write_report("ablation_staging", "Ablation A — Staged vs Direct ETL", lines)
+    return rows
+
+
+class TestStagingAblation:
+    def test_direct_is_always_faster(self, comparison, benchmark):
+        for _, staged, direct in comparison:
+            assert direct < staged
+        benchmark(lambda: None)
+
+    def test_direct_produces_identical_rows(self, comparison, benchmark):
+        staged = run_stage1(12.721, direct=False)
+        direct = run_stage1(12.721, direct=True)
+        assert staged.rows == direct.rows
+        benchmark(lambda: None)
+
+    def test_savings_are_disk_bound_not_constant(self, comparison, benchmark):
+        """Absolute savings grow with size (the temp file scales)."""
+        savings = [s - d for _, s, d in comparison]
+        assert savings[-1] > savings[0]
+        benchmark(lambda: run_stage1(8.217, direct=True))

@@ -1,0 +1,94 @@
+"""Operations playbook: the production features layered on the prototype.
+
+A tour for the person *running* the grid rather than querying it:
+connection pooling, method ACLs, introspection, replica failover during
+a database outage, a network partition and its recovery, and the
+schema-polling loop — all observable through counters and the virtual
+clock.
+
+Run: python examples/operations.py
+"""
+
+from repro import Database, GridFederation
+from repro.common import AuthenticationError, ConnectionFailedError
+
+
+def make_mart(name, vendor="mysql", n=20):
+    db = Database(name, vendor)
+    db.execute("CREATE TABLE EVT (EVENT_ID INT PRIMARY KEY, ENERGY DOUBLE)")
+    for i in range(n):
+        db.execute(f"INSERT INTO EVT VALUES ({i}, {i * 2.0})")
+    return db
+
+
+def main() -> None:
+    fed = GridFederation()
+    # pooling on: the prototype's connect-per-query penalty disappears
+    s1 = fed.create_server(
+        "jc1", "pc1", jdbc_pooling=True, schema_poll_interval_ms=60_000
+    )
+    s2 = fed.create_server("jc2", "pc2")
+
+    primary = make_mart("primary_mart", "mssql")  # JDBC path (no POOL-RAL)
+    replica = make_mart("replica_mart", "sqlite")
+    fed.attach_database(s1, primary, logical_names={"EVT": "events"})
+    fed.attach_database(s2, replica, db_host="pc2", logical_names={"EVT": "events"})
+
+    print("== connection pooling ==")
+    for i in range(3):
+        t0 = fed.clock.now_ms
+        s1.service.execute("SELECT COUNT(*) FROM events")
+        print(f"   query {i + 1}: {fed.clock.now_ms - t0:.1f} ms")
+    stats = s1.service.router.jdbc_pool.stats
+    print(f"   pool stats: hits={stats.hits} misses={stats.misses} "
+          f"hit rate {stats.hit_rate:.0%}")
+
+    print("== access control ==")
+    s1.server.add_account("shift_crew", "pw", groups=("users",))
+    reader = fed.client("controlroom", user="shift_crew", password="pw")
+    print("   shift_crew can query:",
+          fed.query(reader, s1, "SELECT COUNT(*) FROM events").answer.rows)
+    try:
+        reader.call(s1.server, "dataaccess.plugin", "<xspec/>", "url", "sqlite")
+    except AuthenticationError as exc:
+        print(f"   shift_crew cannot plugin: {exc}")
+
+    print("== introspection ==")
+    admin = fed.client("laptop")
+    methods = admin.call(s1.server, "system.listMethods")
+    print(f"   {len(methods)} callable methods, e.g. {methods[:4]}")
+
+    print("== database outage: replica failover ==")
+    url = s1.service.dictionary.url_for("primary_mart")
+    fed.directory.unregister(url)
+    print("   primary_mart process killed")
+    answer = s1.service.execute("SELECT COUNT(*) FROM events")
+    print(f"   query survived via the RLS replica on jc2: {answer.rows} "
+          f"(routes: {answer.routes})")
+
+    print("== network partition ==")
+    fed.network.fail_link("pc1", "pc2")
+    try:
+        s1.service.execute("SELECT COUNT(*) FROM events")
+    except ConnectionFailedError as exc:
+        print(f"   during partition: {exc}")
+    fed.network.restore_link("pc1", "pc2")
+    print("   after healing:",
+          s1.service.execute("SELECT COUNT(*) FROM events").rows)
+
+    print("== schema polling (virtual time) ==")
+    replica.execute("CREATE TABLE alarms (id INTEGER PRIMARY KEY)")
+    s2.service.tracker.poll()  # jc2 notices its own database changed
+    fed.clock.advance_ms(120_000)
+    s1.service.execute("SELECT COUNT(*) FROM events")  # jc1's lazy poll fires
+    print(f"   jc1 polls so far: {s1.service.tracker.polls}; "
+          f"RLS now maps: {fed.rls_server.known_tables()}")
+
+    print("== topology report ==")
+    from repro.tools.topology import describe_federation
+
+    print(describe_federation(fed))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+Offline environments without the ``wheel`` package cannot run the
+PEP 517 editable install; ``python setup.py develop --user`` (or
+``PYTHONPATH=src``) works everywhere. Configuration lives entirely in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,117 @@
+"""JAS-style plug-in: query the grid, histogram the answer (§6)."""
+
+from __future__ import annotations
+
+from repro.analysis.histogram import Histogram1D, Histogram2D, Profile1D
+from repro.clarens.client import ClarensClient
+from repro.common.errors import ReproError
+from repro.core.federation import GridFederation, ServerHandle
+
+
+class JASPlugin:
+    """Submits queries through the web-service interface and plots them."""
+
+    def __init__(
+        self, federation: GridFederation, client: ClarensClient, server: ServerHandle
+    ):
+        self.federation = federation
+        self.client = client
+        self.server = server
+
+    def fetch_column(self, sql: str, column: str) -> list[float]:
+        """Run ``sql`` on the grid and pull one numeric column."""
+        outcome = self.federation.query(self.client, self.server, sql)
+        answer = outcome.answer
+        idx = answer.column_index(column)
+        values = []
+        for row in answer.rows:
+            v = row[idx]
+            if v is None:
+                continue
+            if not isinstance(v, (int, float)):
+                raise ReproError(
+                    f"column {column!r} is not numeric (got {type(v).__name__})"
+                )
+            values.append(float(v))
+        return values
+
+    def histogram_query(
+        self,
+        sql: str,
+        column: str,
+        nbins: int = 40,
+        low: float | None = None,
+        high: float | None = None,
+        title: str | None = None,
+    ) -> Histogram1D:
+        """Histogram one column of a grid query's result."""
+        values = self.fetch_column(sql, column)
+        if low is None or high is None:
+            if not values:
+                raise ReproError("cannot auto-range a histogram with no data")
+            vmin, vmax = min(values), max(values)
+            pad = (vmax - vmin) * 0.05 or 1.0
+            low = vmin if low is None else low
+            high = (vmax + pad) if high is None else high
+        hist = Histogram1D(nbins, low, high, title or f"{column} — {sql[:40]}")
+        hist.fill(values)
+        return hist
+
+    def profile_query(
+        self,
+        sql: str,
+        xcolumn: str,
+        ycolumn: str,
+        nbins: int = 20,
+        low: float | None = None,
+        high: float | None = None,
+    ) -> Profile1D:
+        """Profile histogram: per-x-bin mean of y over a grid query."""
+        outcome = self.federation.query(self.client, self.server, sql)
+        answer = outcome.answer
+        xi = answer.column_index(xcolumn)
+        yi = answer.column_index(ycolumn)
+        xs, ys = [], []
+        for row in answer.rows:
+            if row[xi] is None or row[yi] is None:
+                continue
+            xs.append(float(row[xi]))
+            ys.append(float(row[yi]))
+        if not xs:
+            raise ReproError("no data to profile")
+        if low is None:
+            low = min(xs)
+        if high is None:
+            hi = max(xs)
+            high = hi + ((hi - low) * 0.05 or 1.0)
+        profile = Profile1D(nbins, low, high, f"<{ycolumn}> vs {xcolumn}")
+        profile.fill(xs, ys)
+        return profile
+
+    def histogram2d_query(
+        self,
+        sql: str,
+        xcolumn: str,
+        ycolumn: str,
+        nx: int = 30,
+        ny: int = 15,
+    ) -> Histogram2D:
+        """2-D histogram of two columns of a grid query's result."""
+        outcome = self.federation.query(self.client, self.server, sql)
+        answer = outcome.answer
+        xi = answer.column_index(xcolumn)
+        yi = answer.column_index(ycolumn)
+        xs, ys = [], []
+        for row in answer.rows:
+            if row[xi] is None or row[yi] is None:
+                continue
+            xs.append(float(row[xi]))
+            ys.append(float(row[yi]))
+        if not xs:
+            raise ReproError("no data to histogram")
+        pad = lambda lo, hi: (lo, hi + ((hi - lo) * 0.05 or 1.0))  # noqa: E731
+        xlo, xhi = pad(min(xs), max(xs))
+        ylo, yhi = pad(min(ys), max(ys))
+        hist = Histogram2D(nx, xlo, xhi, ny, ylo, yhi, f"{ycolumn} vs {xcolumn}")
+        hist.fill(xs, ys)
+        return hist

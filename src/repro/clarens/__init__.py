@@ -1,0 +1,25 @@
+"""Clarens-style web-service layer (§4, upper half of Figure 1).
+
+JClarens in the paper is a Java service container speaking XML-RPC over
+HTTP with session-based authentication. Here a :class:`ClarensServer`
+hosts named services on a simulated network host; a
+:class:`ClarensClient` establishes an authenticated session and invokes
+``service.method`` calls. Requests and responses are *actually encoded*
+to an XML-RPC-like wire text, whose byte length drives the simulated
+transfer times.
+"""
+
+from repro.clarens.codec import decode_payload, encode_payload, payload_bytes
+from repro.clarens.server import ClarensServer, ClarensService, MethodStats
+from repro.clarens.client import ClarensClient, ClarensSession
+
+__all__ = [
+    "ClarensClient",
+    "ClarensServer",
+    "ClarensService",
+    "ClarensSession",
+    "MethodStats",
+    "decode_payload",
+    "encode_payload",
+    "payload_bytes",
+]

@@ -1,0 +1,27 @@
+"""The paper's contribution: the grid data access middleware (§4.5).
+
+:class:`~repro.core.service.DataAccessService` is the Clarens-hosted
+service that accepts logical SQL, decomposes it, routes sub-queries
+through POOL-RAL (supported vendors, cached handles) or the Unity/JDBC
+path (everything else), resolves unregistered tables through the RLS
+and forwards their sub-queries to the remote JClarens servers hosting
+them, and integrates everything into a single 2-D result vector.
+
+:class:`~repro.core.federation.GridFederation` wires a whole testbed
+together — network, clock, RLS, servers, databases — and is the entry
+point the examples and benchmarks use.
+"""
+
+from repro.core.router import SubQueryRouter
+from repro.core.service import DataAccessService, QueryAnswer
+from repro.core.federation import GridFederation, ServerHandle
+from repro.core.replicas import ReplicaSelector
+
+__all__ = [
+    "DataAccessService",
+    "GridFederation",
+    "QueryAnswer",
+    "ReplicaSelector",
+    "ServerHandle",
+    "SubQueryRouter",
+]

@@ -1,0 +1,80 @@
+"""Replica selection by network proximity (§6 future work, implemented).
+
+The paper: "We are also working on the design of a system that could
+decide the closest available database (in terms of network
+connectivity) from a set of replicated databases."
+
+A :class:`ReplicaSelector` scores each hosting of a logical table by
+the measured link cost between the querying server and the database's
+host — latency plus the transfer time of a representative payload —
+and pins the decomposer to the cheapest one. Unavailable replicas
+(database process gone from the directory) are skipped, which also
+gives the middleware replica *failover* for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConnectionFailedError, TableNotRegisteredError
+from repro.driver.directory import Directory
+from repro.metadata.dictionary import DataDictionary, TableLocation
+from repro.net.network import Network
+
+#: representative result payload used to rank links (bytes)
+PROBE_BYTES = 64 * 1024
+
+
+@dataclass(frozen=True)
+class ReplicaChoice:
+    """One scored candidate."""
+
+    location: TableLocation
+    cost_ms: float
+    available: bool
+
+
+class ReplicaSelector:
+    """Ranks replicated table hostings by network proximity."""
+
+    def __init__(self, network: Network, directory: Directory, home_host: str):
+        self.network = network
+        self.directory = directory
+        self.home_host = home_host
+
+    def score(self, location: TableLocation) -> ReplicaChoice:
+        """Cost of pulling a representative payload from this hosting."""
+        try:
+            binding = self.directory.lookup(location.url)
+        except ConnectionFailedError:
+            return ReplicaChoice(location, float("inf"), available=False)
+        link = self.network.link_between(self.home_host, binding.host_name)
+        return ReplicaChoice(location, link.transfer_ms(PROBE_BYTES), available=True)
+
+    def rank(self, dictionary: DataDictionary, logical_table: str) -> list[ReplicaChoice]:
+        """All hostings of ``logical_table``, cheapest first."""
+        locations = dictionary.locations(logical_table)
+        if not locations:
+            raise TableNotRegisteredError(logical_table)
+        choices = [self.score(loc) for loc in locations]
+        choices.sort(key=lambda c: c.cost_ms)
+        return choices
+
+    def choose(self, dictionary: DataDictionary, logical_table: str) -> TableLocation:
+        """The closest *available* hosting; raises if every replica is gone."""
+        for choice in self.rank(dictionary, logical_table):
+            if choice.available:
+                return choice.location
+        raise ConnectionFailedError(
+            f"every replica of {logical_table!r} is unavailable"
+        )
+
+    def preferences(
+        self, dictionary: DataDictionary, logical_tables: list[str]
+    ) -> dict[str, str]:
+        """``prefer_databases`` mapping for the decomposer."""
+        out: dict[str, str] = {}
+        for table in logical_tables:
+            if len(dictionary.locations(table)) > 1:
+                out[table] = self.choose(dictionary, table).database_name
+        return out

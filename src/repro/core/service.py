@@ -1,0 +1,532 @@
+"""The Data Access Service — the heart of the middleware (§4.5).
+
+One instance lives inside each JClarens server. It owns the local data
+dictionary (built from XSpecs at registration time), the POOL-RAL
+handle cache, the schema tracker and the routing policy. Incoming
+queries are decomposed; sub-queries for locally registered databases
+run through POOL-RAL or JDBC; sub-queries for tables registered
+elsewhere are resolved through the central RLS and forwarded to the
+remote JClarens server, whose results come back over the wire. Remote
+servers work concurrently — distributing load is the whole point of
+publishing table locations to the RLS (§4.8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.clarens.client import ClarensClient
+from repro.clarens.server import ClarensServer, ClarensService
+from repro.common.errors import (
+    ClarensFault,
+    FederationError,
+    TableNotRegisteredError,
+)
+from repro.common.types import SQLType
+from repro.core.router import SubQueryRouter
+from repro.driver.directory import Directory
+from repro.metadata.dictionary import DataDictionary
+from repro.metadata.tracker import SchemaTracker
+from repro.metadata.xspec import LowerXSpec
+from repro.net import costs
+from repro.poolral.ral import PoolRAL
+from repro.rls.client import RLSClient
+from repro.sql import ast
+from repro.sql.parser import parse_select
+from repro.unity.decompose import SubQuery, decompose
+from repro.unity.driver import execute_plan
+
+
+@dataclass
+class QueryAnswer:
+    """A fully integrated answer plus provenance for tests/benches."""
+
+    columns: list[str]
+    types: list[SQLType]
+    rows: list[tuple]
+    distributed: bool
+    databases: tuple[str, ...]
+    servers_accessed: int
+    tables_accessed: int
+    routes: list[str] = field(default_factory=list)
+
+    @property
+    def row_count(self) -> int:
+        """Number of result rows."""
+        return len(self.rows)
+
+    def to_vector(self) -> list[list]:
+        """The rows as a plain 2-D list (the paper's result shape)."""
+        return [list(r) for r in self.rows]
+
+    def column_index(self, name: str) -> int:
+        """Index of a result column by (case-insensitive) name."""
+        lowered = name.lower()
+        for i, c in enumerate(self.columns):
+            if c.lower() == lowered:
+                return i
+        raise KeyError(name)
+
+
+class DataAccessService(ClarensService):
+    """The Clarens-hosted data access layer of one JClarens instance."""
+
+    service_name = "dataaccess"
+    exposed = ("query", "describe", "tables", "ping", "plugin", "explain", "stats")
+
+    def __init__(
+        self,
+        server: ClarensServer,
+        directory: Directory,
+        rls_client: RLSClient | None = None,
+        server_resolver=None,
+        force_jdbc: bool = False,
+        replica_selection: bool = False,
+        schema_poll_interval_ms: float | None = None,
+        jdbc_pooling: bool = False,
+    ):
+        self.server_ = server  # 'server' attr is set by register_service too
+        self.directory = directory
+        self.rls = rls_client
+        self.server_resolver = server_resolver
+        self.dictionary = DataDictionary()
+        self.ral = PoolRAL(directory, server.clock)
+        self.tracker = SchemaTracker()
+        self.tracker.subscribe(self._on_schema_change)
+        jdbc_pool = None
+        if jdbc_pooling:
+            from repro.driver.pool import ConnectionPool
+
+            jdbc_pool = ConnectionPool(directory, clock=server.clock)
+        self.router = SubQueryRouter(
+            ral=self.ral,
+            directory=directory,
+            clock=server.clock,
+            network=server.network,
+            host=server.host,
+            force_jdbc=force_jdbc,
+            remote_fetch=self._remote_fetch,
+            jdbc_pool=jdbc_pool,
+        )
+        self._peer_client = ClarensClient(server.host, server.network, server.clock)
+        self._service_url = f"clarens://{server.host}/{server.name}"
+        self.queries_served = 0
+        # §4.9's "after a fixed interval of time, a thread is run": in
+        # virtual time the poll fires lazily once the interval elapsed.
+        self.schema_poll_interval_ms = schema_poll_interval_ms
+        self._last_schema_poll_ms = 0.0
+        self.replica_selector = None
+        if replica_selection:
+            from repro.core.replicas import ReplicaSelector
+
+            self.replica_selector = ReplicaSelector(
+                server.network, directory, server.host
+            )
+
+    # ------------------------------------------------------------------
+    # administration (local only — not web-exposed)
+    # ------------------------------------------------------------------
+
+    @property
+    def service_url(self) -> str:
+        """This service's clarens:// address (as published to the RLS)."""
+        return self._service_url
+
+    @property
+    def clock(self):
+        """The server's virtual clock."""
+        return self.server_.clock
+
+    def register_database(
+        self,
+        url: str,
+        logical_names: dict[str, str] | None = None,
+        publish: bool = True,
+    ) -> LowerXSpec:
+        """Register a locally reachable database with this service.
+
+        Generates the lower XSpec, adds it to the local dictionary,
+        publishes the logical table names to the RLS, initializes a
+        POOL-RAL handle when the vendor is supported, and starts schema
+        tracking.
+        """
+        binding = self.directory.lookup(url)
+        spec = self.tracker.watch(binding.database, logical_names)
+        self.dictionary.add_database(spec, url)
+        if self.ral.supports_url(url):
+            self.ral.initialize(url, binding.user, binding.password)
+        if publish and self.rls is not None:
+            self.rls.publish_many(spec.logical_table_names(), self._service_url)
+        return spec
+
+    def unregister_database(self, database_name: str) -> None:
+        """Remove a database: dictionary, tracker, RLS and POOL handle."""
+        spec = self.dictionary.spec_for(database_name)
+        url = self.dictionary.url_for(database_name)
+        if self.rls is not None:
+            for table in spec.logical_table_names():
+                self.rls.server.unpublish(table, self._service_url)
+        self.dictionary.remove_database(database_name)
+        self.tracker.unwatch(database_name)
+        self.ral.release(url)
+
+    def _on_schema_change(self, database_name: str, new_spec: LowerXSpec) -> None:
+        """Tracker callback: refresh dictionary and RLS publications."""
+        url = self.dictionary.url_for(database_name)
+        old_tables = set(self.dictionary.spec_for(database_name).logical_table_names())
+        self.dictionary.add_database(new_spec, url)
+        if self.rls is not None:
+            new_tables = set(new_spec.logical_table_names())
+            for gone in old_tables - new_tables:
+                self.rls.server.unpublish(gone, self._service_url)
+            added = sorted(new_tables - old_tables)
+            if added:
+                self.rls.publish_many(added, self._service_url)
+
+    # ------------------------------------------------------------------
+    # query execution
+    # ------------------------------------------------------------------
+
+    def execute(
+        self, sql: str | ast.Select, params: tuple = (), no_forward: bool = False
+    ) -> QueryAnswer:
+        """Execute a logical-name query; the local (non-RPC) entry point."""
+        self._maybe_poll_schemas()
+        select = parse_select(sql) if isinstance(sql, str) else sql
+        if self.clock is not None:
+            self.clock.advance_ms(costs.DECOMPOSE_MS)
+
+        remote_servers: set[str] = set()
+        for ref in select.referenced_tables():
+            if not self.dictionary.has_table(ref.name):
+                if no_forward:
+                    raise TableNotRegisteredError(ref.name)
+                remote_servers.add(self._discover_remote(ref.name))
+            else:
+                loc = self.dictionary.locate(ref.name)
+                if loc.is_remote:
+                    remote_servers.add(loc.remote_server)
+
+        prefer = None
+        if self.replica_selector is not None:
+            prefer = self.replica_selector.preferences(
+                self.dictionary,
+                [ref.name for ref in select.referenced_tables()],
+            )
+        plan = decompose(select, self.dictionary, prefer_databases=prefer)
+
+        # Group sub-queries: local ones run here; each remote server's
+        # batch runs on that server, concurrently with everything else.
+        groups: dict[str | None, list[SubQuery]] = {}
+        for sub in plan.subqueries:
+            groups.setdefault(sub.location.remote_server, []).append(sub)
+
+        collected: dict[str, tuple] = {}
+
+        def run_group(subs: list[SubQuery]):
+            def _run():
+                for sub in subs:
+                    collected[sub.binding] = self._run_with_failover(sub, params)
+
+            return _run
+
+        branches = [run_group(subs) for subs in groups.values()]
+        if len(branches) > 1:
+            self.clock.run_parallel(branches)
+        else:
+            branches[0]()
+
+        def replay_runner(sub: SubQuery, _params: tuple):
+            return collected[sub.binding]
+
+        result = execute_plan(plan, replay_runner, params, self.clock)
+        self.queries_served += 1
+        return QueryAnswer(
+            columns=result.columns,
+            types=result.types,
+            rows=result.rows,
+            distributed=plan.is_distributed,
+            databases=plan.databases,
+            servers_accessed=1 + len(remote_servers),
+            tables_accessed=len(plan.original.referenced_tables()),
+            routes=[t.via for t in result.traces],
+        )
+
+    def _maybe_poll_schemas(self) -> None:
+        """Fire the periodic schema poll when its interval has elapsed."""
+        if self.schema_poll_interval_ms is None or self.clock is None:
+            return
+        if self.clock.now_ms - self._last_schema_poll_ms >= self.schema_poll_interval_ms:
+            self._last_schema_poll_ms = self.clock.now_ms
+            self.tracker.poll()
+
+    def _run_with_failover(self, sub: SubQuery, params: tuple):
+        """Run one sub-query; on a dead database, fail over to a replica.
+
+        The alternate replica may use different physical naming, so the
+        sub-query is re-planned from its logical form against a
+        one-location dictionary for the alternate.
+        """
+        from repro.common.errors import ConnectionFailedError
+
+        try:
+            return self.router(sub, params)
+        except ConnectionFailedError:
+            failed = sub.location.database_name
+            table = sub.location.logical_table
+            alternates = [
+                loc
+                for loc in self.dictionary.locations(table)
+                if loc.database_name != failed
+            ]
+            if not alternates and self.rls is not None:
+                # no local replica — maybe another JClarens server hosts one
+                try:
+                    self._discover_remote(table, exclude_own=True)
+                except (FederationError, Exception):  # noqa: BLE001 - keep original error
+                    pass
+                alternates = [
+                    loc
+                    for loc in self.dictionary.locations(table)
+                    if loc.database_name != failed
+                ]
+            if not alternates or sub.logical_select is None:
+                raise
+            last_error: Exception | None = None
+            for alternate in alternates:
+                mini = DataDictionary()
+                mini.add_database(
+                    self.dictionary.spec_for(alternate.database_name),
+                    alternate.url,
+                    remote_server=alternate.remote_server,
+                )
+                replanned = decompose(sub.logical_select, mini)
+                retry = replanned.subqueries[0]
+                # keep the original binding so the integrator finds it;
+                # the logical form travels too (remote alternates are
+                # forwarded by logical SQL). No recursion: the retry goes
+                # straight to the router, not back through failover.
+                retry = SubQuery(
+                    binding=sub.binding,
+                    location=retry.location,
+                    select=retry.select,
+                    pushed_conjuncts=retry.pushed_conjuncts,
+                    logical_select=sub.logical_select,
+                )
+                try:
+                    return self.router(retry, params)
+                except ConnectionFailedError as exc:
+                    last_error = exc
+            raise last_error if last_error else ConnectionFailedError(
+                f"no live replica for {sub.location.logical_table!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # remote resolution and forwarding
+    # ------------------------------------------------------------------
+
+    def _resolve_peer(self, service_url: str) -> ClarensServer:
+        if self.server_resolver is None:
+            raise FederationError(
+                "table lives on a remote server but no server_resolver is configured"
+            )
+        peer = self.server_resolver(service_url)
+        if peer is None:
+            raise FederationError(f"cannot resolve remote server {service_url!r}")
+        return peer
+
+    def _discover_remote(self, logical_table: str, exclude_own: bool = False) -> str:
+        """RLS lookup + remote describe; registers the remote location.
+
+        The RLS may return several replica servers; dead or stale ones
+        are skipped in order. ``exclude_own`` skips this server's own
+        publications (used during replica failover).
+        """
+        if self.rls is None:
+            raise TableNotRegisteredError(logical_table)
+        urls = self.rls.lookup(logical_table)
+        if exclude_own:
+            urls = [u for u in urls if u != self._service_url]
+        last_error: Exception | None = None
+        for service_url in urls:
+            try:
+                peer = self._resolve_peer(service_url)
+                description = self._peer_client.call(
+                    peer, "dataaccess.describe", logical_table
+                )
+            except (FederationError, ClarensFault) as exc:
+                last_error = exc
+                continue
+            spec = LowerXSpec.from_xml(description["spec_xml"])
+            self.dictionary.add_database(
+                spec, description["url"], remote_server=service_url
+            )
+            return service_url
+        raise last_error if last_error else TableNotRegisteredError(logical_table)
+
+    def _remote_fetch(self, sub: SubQuery, params: tuple):
+        """Forward one sub-query to the remote server hosting its table."""
+        peer = self._resolve_peer(sub.location.remote_server)
+        response = self._peer_client.call(
+            peer, "dataaccess.query", sub.logical_sql, list(params), True
+        )
+        types = [_type_from_text(t) for t in response["types"]]
+        rows = [tuple(r) for r in response["rows"]]
+        return response["columns"], types, rows
+
+    # ------------------------------------------------------------------
+    # web-exposed methods (wire-safe values only)
+    # ------------------------------------------------------------------
+
+    def query(self, sql: str, params: list | None = None, no_forward: bool = False):
+        """Clarens method: run a query, return a struct of plain lists."""
+        answer = self.execute(sql, tuple(params or ()), bool(no_forward))
+        return {
+            "columns": list(answer.columns),
+            "types": [str(t) for t in answer.types],
+            "rows": [list(r) for r in answer.rows],
+            "distributed": answer.distributed,
+            "servers": answer.servers_accessed,
+            "tables": answer.tables_accessed,
+            "routes": list(answer.routes),
+        }
+
+    def describe(self, logical_table: str):
+        """Clarens method: metadata for one locally registered table."""
+        locations = [
+            loc
+            for loc in self.dictionary.locations(logical_table)
+            if not loc.is_remote
+        ]
+        if not locations:
+            raise ClarensFault(
+                "dataaccess.describe",
+                f"table {logical_table!r} is not registered with this server",
+            )
+        loc = locations[0]
+        spec = self.dictionary.spec_for(loc.database_name)
+        return {
+            "database": loc.database_name,
+            "vendor": loc.vendor,
+            "url": loc.url,
+            "spec_xml": spec.single_table_spec(logical_table).to_xml(),
+        }
+
+    def tables(self):
+        """Clarens method: logical tables this server can serve locally."""
+        return sorted(
+            t
+            for t in self.dictionary.logical_tables()
+            if any(not loc.is_remote for loc in self.dictionary.locations(t))
+        )
+
+    def ping(self):
+        """Clarens method: liveness probe."""
+        return "pong"
+
+    def stats(self):
+        """Clarens method: operational counters for monitoring.
+
+        Queries served, sub-query routing mix, POOL handle count,
+        connection-pool hit rate (when pooling is on), schema-tracker
+        activity, and per-method container statistics.
+        """
+        out = {
+            "server": self.server_.name,
+            "queries_served": self.queries_served,
+            "routes": dict(self.router.route_counts),
+            "pool_handles": self.ral.handle_count(),
+            "tracker_polls": self.tracker.polls,
+            "schema_changes": self.tracker.changes_detected,
+            "databases": self.dictionary.databases(),
+            "methods": {
+                name: {
+                    "calls": s.calls,
+                    "rows_returned": s.rows_returned,
+                    "busy_ms": round(s.busy_ms, 3),
+                }
+                for name, s in sorted(self.server_.method_stats.items())
+            },
+        }
+        if self.router.jdbc_pool is not None:
+            pool = self.router.jdbc_pool.stats
+            out["jdbc_pool"] = {
+                "hits": pool.hits,
+                "misses": pool.misses,
+                "discarded": pool.discarded,
+                "hit_rate": round(pool.hit_rate, 4),
+            }
+        return out
+
+    def explain(self, sql: str):
+        """Clarens method: the federated plan for ``sql``, not executed.
+
+        Shows the decomposition (per-table sub-queries, pushdown), the
+        predicted route of each sub-query (pool / jdbc / remote), and
+        the integration step — the distributed counterpart of a local
+        engine EXPLAIN.
+        """
+        select = parse_select(sql)
+        for ref in select.referenced_tables():
+            if not self.dictionary.has_table(ref.name):
+                self._discover_remote(ref.name)
+        plan = decompose(select, self.dictionary)
+        subqueries = []
+        for sub in plan.subqueries:
+            if sub.location.is_remote:
+                route = "remote"
+            elif not self.router.force_jdbc and self.ral.supports_url(
+                sub.location.url
+            ):
+                route = "pool"
+            else:
+                route = "jdbc"
+            subqueries.append(
+                {
+                    "binding": sub.binding,
+                    "database": sub.location.database_name,
+                    "vendor": sub.location.vendor,
+                    "route": route,
+                    "sql": sub.sql,
+                    "pushed_predicates": [c.unparse() for c in sub.pushed_conjuncts],
+                }
+            )
+        return {
+            "kind": plan.kind,
+            "distributed": plan.is_distributed,
+            "databases": list(plan.databases),
+            "subqueries": subqueries,
+            "integration": (
+                plan.integration.unparse() if plan.integration is not None else None
+            ),
+        }
+
+    def plugin(self, spec_xml: str, url: str, driver: str):
+        """Clarens method: plug in a database at runtime (§4.10).
+
+        The caller supplies the XSpec document, the connection URL and
+        the driver (vendor) name; the server parses the metadata,
+        connects through the matching driver, and registers the tables.
+        """
+        spec = LowerXSpec.from_xml(spec_xml)
+        if spec.vendor.lower() != driver.lower():
+            raise ClarensFault(
+                "dataaccess.plugin",
+                f"spec is for vendor {spec.vendor!r} but driver {driver!r} given",
+            )
+        binding = self.directory.lookup(url)  # the database must be running
+        self.dictionary.add_database(spec, url)
+        # Keep the plugged-in spec's logical naming when tracking.
+        logical_names = {t.name: t.logical_name for t in spec.tables}
+        self.tracker.watch(binding.database, logical_names)
+        if self.ral.supports_url(url):
+            self.ral.initialize(url, binding.user, binding.password)
+        if self.rls is not None:
+            self.rls.publish_many(spec.logical_table_names(), self._service_url)
+        return spec.logical_table_names()
+
+
+def _type_from_text(text: str) -> SQLType:
+    from repro.metadata.xspec import parse_type_text
+
+    return parse_type_text(text)

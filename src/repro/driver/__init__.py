@@ -1,0 +1,23 @@
+"""JDBC-style database driver layer.
+
+``connect(url, user, password)`` resolves a vendor connection URL
+against a :class:`~repro.driver.directory.Directory` of live database
+instances and returns a DB-API-flavoured :class:`Connection`. Connect,
+authenticate, statement and fetch costs are charged to an optional
+virtual clock so the simulated testbed reproduces the paper's
+"connecting and authenticating with several databases" overhead.
+"""
+
+from repro.driver.directory import Directory, GLOBAL_DIRECTORY, DatabaseBinding
+from repro.driver.connection import Connection, Cursor, connect
+from repro.driver.url import sniff_vendor
+
+__all__ = [
+    "Connection",
+    "Cursor",
+    "DatabaseBinding",
+    "Directory",
+    "GLOBAL_DIRECTORY",
+    "connect",
+    "sniff_vendor",
+]

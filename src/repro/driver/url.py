@@ -1,0 +1,27 @@
+"""Connection-URL vendor sniffing.
+
+Each dialect owns a URL grammar; this module picks the vendor from the
+URL prefix, longest scheme first, so ``jdbc:sqlserver://...`` is not
+claimed by a hypothetical ``jdbc:sql`` vendor.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConnectionFailedError
+from repro.dialects import available_vendors, get_dialect
+from repro.dialects.base import ConnectionURL, Dialect
+
+
+def sniff_vendor(url: str) -> tuple[Dialect, ConnectionURL]:
+    """Resolve ``url`` to (dialect, parsed URL) by scheme prefix."""
+    candidates = sorted(
+        (get_dialect(v) for v in available_vendors()),
+        key=lambda d: len(d.url_scheme),
+        reverse=True,
+    )
+    for dialect in candidates:
+        if url.startswith(dialect.url_scheme + ":") or url.startswith(
+            dialect.url_scheme + "@"
+        ):
+            return dialect, dialect.parse_url(url)
+    raise ConnectionFailedError(f"no registered vendor understands URL {url!r}")

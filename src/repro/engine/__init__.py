@@ -1,0 +1,24 @@
+"""In-memory relational engine.
+
+One :class:`~repro.engine.database.Database` instance stands in for one
+vendor database server process (Oracle, MySQL, MS SQL Server or SQLite
+in the paper's testbed). The engine executes the vendor-neutral SQL core
+produced by :mod:`repro.sql`; vendor personality (type-name mapping,
+quoting, limit syntax, cost profile) is layered on by
+:mod:`repro.dialects`.
+"""
+
+from repro.engine.storage import Column, TableStorage, estimate_value_bytes, estimate_row_bytes
+from repro.engine.catalog import Catalog, ViewDef
+from repro.engine.database import Database, ExecResult
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "Database",
+    "ExecResult",
+    "TableStorage",
+    "ViewDef",
+    "estimate_row_bytes",
+    "estimate_value_bytes",
+]

@@ -1,0 +1,239 @@
+"""Row storage for one table, with constraints and hash indexes.
+
+Rows are stored as tuples in insertion order. A primary-key hash index
+is maintained eagerly; secondary indexes are built lazily and dropped on
+mutation (rebuild-on-demand keeps the mutation path simple and is the
+right trade for the read-mostly mart workloads the paper evaluates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import (
+    ColumnNotFoundError,
+    DuplicateObjectError,
+    IntegrityError,
+)
+from repro.common.types import SQLType, coerce_value
+
+
+@dataclass(frozen=True)
+class Column:
+    """Schema of one stored column."""
+
+    name: str
+    type: SQLType
+    not_null: bool = False
+    primary_key: bool = False
+    default: object = None
+    has_default: bool = False
+
+
+def estimate_value_bytes(value: object) -> int:
+    """Approximate wire/storage footprint of one value.
+
+    Used for the kB-based ETL benchmarks (Figs 4-5) and network payload
+    sizing; mirrors a simple text-protocol encoding.
+    """
+    if value is None:
+        return 4  # 'NULL'
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return max(1, len(str(value)))
+    if isinstance(value, float):
+        return len(repr(value))
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    return len(str(value))
+
+
+def estimate_row_bytes(row: tuple) -> int:
+    """Footprint of a full row including per-value separators."""
+    return sum(estimate_value_bytes(v) for v in row) + len(row)
+
+
+class TableStorage:
+    """Storage and constraint enforcement for a single table."""
+
+    def __init__(self, name: str, columns: list[Column]):
+        if not columns:
+            raise IntegrityError(f"table {name!r} must have at least one column")
+        seen = set()
+        for col in columns:
+            key = col.name.lower()
+            if key in seen:
+                raise DuplicateObjectError(f"duplicate column {col.name!r} in {name!r}")
+            seen.add(key)
+        self.name = name
+        self.columns = list(columns)
+        self.rows: list[tuple] = []
+        self._col_index = {c.name.lower(): i for i, c in enumerate(self.columns)}
+        pk_cols = [i for i, c in enumerate(self.columns) if c.primary_key]
+        self._pk_positions: tuple[int, ...] = tuple(pk_cols)
+        self._pk_index: dict[tuple, int] | None = {} if pk_cols else None
+        # name -> (column positions, key -> row positions)
+        self._indexes: dict[str, tuple[tuple[int, ...], dict[tuple, list[int]]]] = {}
+        self._byte_size = 0
+
+    # Introspection -------------------------------------------------------------
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rows)
+
+    @property
+    def byte_size(self) -> int:
+        """Approximate data footprint in bytes (used by ETL sizing)."""
+        return self._byte_size
+
+    def column_position(self, name: str) -> int:
+        idx = self._col_index.get(name.lower())
+        if idx is None:
+            raise ColumnNotFoundError(name, self.name)
+        return idx
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self._col_index
+
+    # Mutation ------------------------------------------------------------------
+
+    def _check_and_coerce(self, values: list, partial_columns: list[str] | None) -> tuple:
+        """Coerce ``values`` onto full column order, applying defaults."""
+        if partial_columns is None:
+            if len(values) != len(self.columns):
+                raise IntegrityError(
+                    f"table {self.name!r} expects {len(self.columns)} values, got {len(values)}"
+                )
+            ordered = list(values)
+        else:
+            if len(values) != len(partial_columns):
+                raise IntegrityError(
+                    f"INSERT column list has {len(partial_columns)} names but "
+                    f"{len(values)} values"
+                )
+            ordered = []
+            provided = {name.lower(): v for name, v in zip(partial_columns, values)}
+            for col in self.columns:
+                key = col.name.lower()
+                if key in provided:
+                    ordered.append(provided.pop(key))
+                elif col.has_default:
+                    ordered.append(col.default)
+                else:
+                    ordered.append(None)
+            if provided:
+                raise ColumnNotFoundError(next(iter(provided)), self.name)
+        out = []
+        for col, value in zip(self.columns, ordered):
+            coerced = None if value is None else coerce_value(value, col.type)
+            if coerced is None and col.not_null:
+                raise IntegrityError(
+                    f"NULL violates NOT NULL on {self.name}.{col.name}"
+                )
+            out.append(coerced)
+        return tuple(out)
+
+    def insert(self, values: list, columns: list[str] | None = None) -> tuple:
+        """Insert one row; returns the stored (coerced) tuple."""
+        row = self._check_and_coerce(values, columns)
+        if self._pk_index is not None:
+            key = tuple(row[i] for i in self._pk_positions)
+            if key in self._pk_index:
+                raise IntegrityError(
+                    f"duplicate primary key {key!r} in table {self.name!r}"
+                )
+            self._pk_index[key] = len(self.rows)
+        self.rows.append(row)
+        self._byte_size += estimate_row_bytes(row)
+        self._indexes.clear()
+        return row
+
+    def insert_many(self, rows: list[list], columns: list[str] | None = None) -> int:
+        for values in rows:
+            self.insert(values, columns)
+        return len(rows)
+
+    def delete_where(self, keep_predicate) -> int:
+        """Delete rows for which ``keep_predicate(row)`` is False; returns count."""
+        kept = [r for r in self.rows if keep_predicate(r)]
+        deleted = len(self.rows) - len(kept)
+        if deleted:
+            self.rows = kept
+            self._rebuild_after_mutation()
+        return deleted
+
+    def replace_rows(self, rows: list[tuple]) -> None:
+        """Wholesale row replacement (used by UPDATE)."""
+        self.rows = list(rows)
+        self._rebuild_after_mutation()
+
+    def _rebuild_after_mutation(self) -> None:
+        self._indexes.clear()
+        self._byte_size = sum(estimate_row_bytes(r) for r in self.rows)
+        if self._pk_index is not None:
+            self._pk_index = {}
+            for pos, row in enumerate(self.rows):
+                key = tuple(row[i] for i in self._pk_positions)
+                if key in self._pk_index:
+                    raise IntegrityError(
+                        f"duplicate primary key {key!r} in table {self.name!r}"
+                    )
+                self._pk_index[key] = pos
+
+    # Schema evolution ----------------------------------------------------------
+
+    def add_column(self, column: Column) -> None:
+        if self.has_column(column.name):
+            raise DuplicateObjectError(
+                f"column {column.name!r} already exists in {self.name!r}"
+            )
+        fill = column.default if column.has_default else None
+        if fill is None and column.not_null and self.rows:
+            raise IntegrityError(
+                f"cannot add NOT NULL column {column.name!r} without default to "
+                f"non-empty table {self.name!r}"
+            )
+        self.columns.append(column)
+        self.rows = [row + (fill,) for row in self.rows]
+        self._col_index[column.name.lower()] = len(self.columns) - 1
+        self._rebuild_after_mutation()
+
+    def drop_column(self, name: str) -> None:
+        pos = self.column_position(name)
+        if self.columns[pos].primary_key:
+            raise IntegrityError(f"cannot drop primary-key column {name!r}")
+        del self.columns[pos]
+        self.rows = [row[:pos] + row[pos + 1 :] for row in self.rows]
+        self._col_index = {c.name.lower(): i for i, c in enumerate(self.columns)}
+        self._pk_positions = tuple(
+            i for i, c in enumerate(self.columns) if c.primary_key
+        )
+        self._rebuild_after_mutation()
+
+    # Indexes --------------------------------------------------------------------
+
+    def ensure_index(self, columns: tuple[str, ...]) -> dict[tuple, list[int]]:
+        """Hash index on ``columns``, built lazily, invalidated on mutation."""
+        key = "|".join(c.lower() for c in columns)
+        cached = self._indexes.get(key)
+        if cached is not None:
+            return cached[1]
+        positions = tuple(self.column_position(c) for c in columns)
+        index: dict[tuple, list[int]] = {}
+        for pos, row in enumerate(self.rows):
+            index.setdefault(tuple(row[i] for i in positions), []).append(pos)
+        self._indexes[key] = (positions, index)
+        return index
+
+    def lookup_pk(self, key: tuple) -> tuple | None:
+        """Primary-key point lookup; None when the table has no PK or misses."""
+        if self._pk_index is None:
+            return None
+        pos = self._pk_index.get(key)
+        return None if pos is None else self.rows[pos]

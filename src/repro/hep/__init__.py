@@ -1,0 +1,40 @@
+"""HEP non-event data substrate: HBOOK ntuples and the source schemas.
+
+The paper stores HBOOK ntuple data — a table of N events × NVAR
+variables — in *normalized* relational schemas on the Tier-1 (Oracle)
+and Tier-2 (MySQL) source databases, then denormalizes into the
+warehouse. This package generates deterministic synthetic ntuples,
+creates the normalized source schema (events/variables/values EAV plus
+runs, calibration and conditions tables), provides the EAV→wide pivot
+transform the ETL uses, and builds the testbeds the benchmarks run on.
+"""
+
+from repro.hep.conditions import ConditionsDB, ConditionValue, INFINITE_RUN
+from repro.hep.ntuple import Ntuple, generate_ntuple, standard_variables
+from repro.hep.queries import QueryWorkload, WorkloadConfig
+from repro.hep.schema import create_source_schema, populate_source
+from repro.hep.workload import (
+    EAV_EXTRACT_SQL,
+    build_tier_sources,
+    etl_jobs_for_source,
+    events_for_target_kb,
+    pivot_eav,
+)
+
+__all__ = [
+    "ConditionValue",
+    "ConditionsDB",
+    "EAV_EXTRACT_SQL",
+    "INFINITE_RUN",
+    "Ntuple",
+    "QueryWorkload",
+    "WorkloadConfig",
+    "build_tier_sources",
+    "create_source_schema",
+    "etl_jobs_for_source",
+    "events_for_target_kb",
+    "generate_ntuple",
+    "pivot_eav",
+    "populate_source",
+    "standard_variables",
+]

@@ -1,0 +1,123 @@
+"""Query workload generation for the grid analysis environment.
+
+Produces deterministic mixes of the query shapes physicists actually
+submit against ntuple marts: point lookups by event id, kinematic range
+scans, per-run aggregates, local joins against run metadata, and
+cross-server joins. Used by the query-mix benchmark and available to
+downstream users for capacity studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.rng import DeterministicRNG
+
+#: query-shape identifiers
+KINDS = ("point", "range", "aggregate", "join", "distributed")
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One generated query."""
+
+    kind: str
+    sql: str
+    params: tuple = ()
+
+
+@dataclass
+class WorkloadConfig:
+    """Shape of the data the workload runs against."""
+
+    ntuple_table: str = "ntuple_a"
+    runmeta_table: str = "runmeta_a"
+    remote_ntuple_table: str = "ntuple_b"
+    max_event_id: int = 3000
+    max_run_id: int = 150
+    energy_scale: float = 50.0
+
+
+class QueryWorkload:
+    """Deterministic generator of mixed analysis queries."""
+
+    def __init__(self, rng: DeterministicRNG, config: WorkloadConfig | None = None):
+        self.rng = rng
+        self.config = config or WorkloadConfig()
+
+    # -- individual shapes -------------------------------------------------------
+
+    def point_lookup(self) -> QuerySpec:
+        event = int(self.rng.integers(1, self.config.max_event_id + 1))
+        return QuerySpec(
+            "point",
+            f"SELECT event_id, e, px, py FROM {self.config.ntuple_table} "
+            f"WHERE event_id = {event}",
+        )
+
+    def range_scan(self) -> QuerySpec:
+        width = int(self.rng.integers(50, 400))
+        start = int(self.rng.integers(1, max(2, self.config.max_event_id - width)))
+        return QuerySpec(
+            "range",
+            f"SELECT event_id, e FROM {self.config.ntuple_table} "
+            f"WHERE event_id BETWEEN {start} AND {start + width}",
+        )
+
+    def aggregate(self) -> QuerySpec:
+        cut = float(self.rng.uniform(0.2, 2.0)) * self.config.energy_scale
+        return QuerySpec(
+            "aggregate",
+            f"SELECT run_id, COUNT(*) AS n, AVG(e) AS mean_e "
+            f"FROM {self.config.ntuple_table} WHERE e < {cut:.3f} "
+            f"GROUP BY run_id HAVING n > 0 ORDER BY n DESC LIMIT 10",
+        )
+
+    def local_join(self) -> QuerySpec:
+        limit = int(self.rng.integers(20, 200))
+        return QuerySpec(
+            "join",
+            f"SELECT n.event_id, m.detector FROM {self.config.ntuple_table} n "
+            f"JOIN {self.config.runmeta_table} m ON n.run_id = m.run_id "
+            f"WHERE n.event_id <= {limit}",
+        )
+
+    def distributed_join(self) -> QuerySpec:
+        limit = int(self.rng.integers(20, 120))
+        return QuerySpec(
+            "distributed",
+            f"SELECT a.event_id, a.e, b.e AS e_b "
+            f"FROM {self.config.ntuple_table} a "
+            f"JOIN {self.config.remote_ntuple_table} b ON a.event_id = b.event_id "
+            f"WHERE a.event_id <= {limit} AND b.event_id <= {limit}",
+        )
+
+    _BUILDERS = {
+        "point": point_lookup,
+        "range": range_scan,
+        "aggregate": aggregate,
+        "join": local_join,
+        "distributed": distributed_join,
+    }
+
+    # -- mixes ----------------------------------------------------------------------
+
+    def generate(self, n: int, mix: dict[str, float] | None = None) -> list[QuerySpec]:
+        """``n`` queries drawn from ``mix`` (kind → weight)."""
+        mix = mix or {"point": 0.3, "range": 0.3, "aggregate": 0.2, "join": 0.2}
+        kinds = sorted(mix)
+        weights = [mix[k] for k in kinds]
+        total = sum(weights)
+        probabilities = [w / total for w in weights]
+        out: list[QuerySpec] = []
+        for _ in range(n):
+            kind = str(self.rng.choice(kinds, p=probabilities))
+            out.append(self._BUILDERS[kind](self))
+        return out
+
+    def by_kind(self, n_each: int) -> dict[str, list[QuerySpec]]:
+        """``n_each`` queries of every kind, keyed by kind."""
+        return {
+            kind: [self._BUILDERS[kind](self) for _ in range(n_each)]
+            for kind in KINDS
+        }

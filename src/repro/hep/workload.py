@@ -1,0 +1,136 @@
+"""Workload construction: tier sources, ETL jobs and sizing helpers."""
+
+from __future__ import annotations
+
+from repro.common.errors import ETLError
+from repro.common.rng import DeterministicRNG
+from repro.engine.database import Database
+from repro.engine.storage import estimate_row_bytes
+from repro.hep.ntuple import generate_ntuple
+from repro.hep.schema import create_source_schema, populate_source
+from repro.warehouse.etl import ETLJob
+from repro.warehouse.schema import var_columns
+
+
+def build_tier_sources(
+    rng: DeterministicRNG,
+    n_runs: int = 4,
+    events_per_run: int = 50,
+    nvar: int = 8,
+) -> tuple[Database, Database]:
+    """The paper's two sources: Oracle @ Tier-1 (CERN), MySQL @ Tier-2.
+
+    Runs are split between the tiers; event ids are globally unique so
+    the warehouse can integrate both.
+    """
+    tier1 = Database("tier1_source", "oracle")
+    tier2 = Database("tier2_source", "mysql")
+    create_source_schema(tier1)
+    create_source_schema(tier2)
+    split = max(1, n_runs // 2)
+    tier1_ntuples = {
+        run_id: generate_ntuple(
+            rng.fork(f"run{run_id}"), events_per_run, nvar, f"run{run_id}_ntuple"
+        )
+        for run_id in range(1, split + 1)
+    }
+    tier2_ntuples = {
+        run_id: generate_ntuple(
+            rng.fork(f"run{run_id}"), events_per_run, nvar, f"run{run_id}_ntuple"
+        )
+        for run_id in range(split + 1, n_runs + 1)
+    }
+    next_id = populate_source(tier1, rng.fork("t1"), tier1_ntuples)
+    populate_source(tier2, rng.fork("t2"), tier2_ntuples, first_event_id=next_id)
+    return tier1, tier2
+
+
+# -- the denormalizing transform -------------------------------------------------------
+
+#: SQL that streams the EAV triples out of a normalized source
+EAV_EXTRACT_SQL = (
+    "SELECT e.event_id, e.run_id, r.detector, v.var_index, ev.value "
+    "FROM events e "
+    "JOIN event_values ev ON e.event_id = ev.event_id "
+    "JOIN variables v ON ev.variable_id = v.variable_id "
+    "JOIN runs r ON e.run_id = r.run_id "
+    "ORDER BY e.event_id, v.var_index"
+)
+
+
+def pivot_eav(nvar: int):
+    """EAV triples → wide fact rows (the ETL 'transformation' step).
+
+    Input rows: (event_id, run_id, detector, var_index, value), sorted
+    by event then index. Output: (event_id, run_id, detector, var_0,
+    ..., var_{nvar-1}); missing indices become NULL.
+    """
+
+    def transform(columns: list[str], rows: list[tuple]):
+        expected = ["event_id", "run_id", "detector", "var_index", "value"]
+        if [c.lower() for c in columns] != expected:
+            raise ETLError(f"pivot expects columns {expected}, got {columns}")
+        out_columns = ["event_id", "run_id", "detector"] + var_columns(nvar)
+        out_rows: list[tuple] = []
+        current_key = None
+        current: list | None = None
+        for event_id, run_id, detector, var_index, value in rows:
+            if event_id != current_key:
+                if current is not None:
+                    out_rows.append(tuple(current))
+                current = [event_id, run_id, detector] + [None] * nvar
+                current_key = event_id
+            if 0 <= var_index < nvar:
+                current[3 + var_index] = value
+        if current is not None:
+            out_rows.append(tuple(current))
+        return out_columns, out_rows
+
+    return transform
+
+
+def etl_jobs_for_source(source: Database, source_host: str, nvar: int) -> list[ETLJob]:
+    """The ETL jobs that integrate one normalized source into the warehouse."""
+    return [
+        ETLJob(
+            source=source,
+            source_host=source_host,
+            query=EAV_EXTRACT_SQL,
+            target_table="event_fact",
+            transform=pivot_eav(nvar),
+        ),
+        ETLJob(
+            source=source,
+            source_host=source_host,
+            query="SELECT run_id, detector, start_time, n_events FROM runs",
+            target_table="run_dim",
+        ),
+        ETLJob(
+            source=source,
+            source_host=source_host,
+            query="SELECT calib_id, detector, channel, gain, pedestal FROM calibrations",
+            target_table="calib_fact",
+        ),
+        ETLJob(
+            source=source,
+            source_host=source_host,
+            query="SELECT condition_id, run_id, name, value FROM conditions",
+            target_table="condition_fact",
+        ),
+    ]
+
+
+def events_for_target_kb(target_kb: float, nvar: int) -> int:
+    """How many events make ~``target_kb`` of staged wide-row bytes.
+
+    Calibrated empirically: generates a small sample ntuple, pivots it,
+    and measures the real average wide-row footprint — so the ETL
+    benches land on the paper's Figure 4/5 x-axis points.
+    """
+    sample = generate_ntuple(DeterministicRNG("sizing-probe"), 64, nvar)
+    rows = [
+        tuple([10_000 + i, (i % 4) + 1, "TRACKER"] + list(map(float, sample.data[i])))
+        for i in range(sample.n_events)
+    ]
+    per_event = sum(estimate_row_bytes(r) for r in rows) / len(rows)
+    return max(1, round(target_kb * 1000.0 / per_event))

@@ -1,0 +1,13 @@
+"""Data marts: locally accessible replicas of warehouse views (§4.3).
+
+A mart is a vendor database (MySQL, MS SQL Server, Oracle or SQLite)
+holding materialized copies of the warehouse's analysis views. Stage 2
+of the paper's measurements — view extraction + materialization through
+a staging file — lives in :func:`materialize_view`; :class:`MartSet`
+replicates a set of views into a set of marts and is what the Figure 5
+bench drives.
+"""
+
+from repro.marts.materialize import MartSet, materialize_view
+
+__all__ = ["MartSet", "materialize_view"]

@@ -1,0 +1,159 @@
+"""The data dictionary: logical names → physical locations.
+
+Built from the upper XSpec plus the lower XSpecs it references, the
+dictionary answers the two questions the data access layer asks for
+every query: *which database hosts logical table T* and *what is T's
+physical table/column naming there*. A logical table may be replicated
+in several databases (marts holding the same materialized view); all
+locations are kept so the router can choose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import TableNotRegisteredError, XSpecError
+from repro.metadata.upper import UpperXSpec
+from repro.metadata.xspec import LowerXSpec, XSpecTable
+
+
+@dataclass(frozen=True)
+class TableLocation:
+    """One physical hosting of a logical table.
+
+    ``remote_server`` is None for databases registered with the local
+    JClarens instance; for tables discovered through the RLS it carries
+    the URL of the remote JClarens server that fronts the database, and
+    sub-queries must be forwarded there instead of opening a direct
+    connection.
+    """
+
+    logical_table: str
+    database_name: str
+    url: str
+    vendor: str
+    table: XSpecTable
+    remote_server: str | None = None
+
+    @property
+    def is_remote(self) -> bool:
+        """True when sub-queries must be forwarded to another server."""
+        return self.remote_server is not None
+
+    @property
+    def physical_name(self) -> str:
+        """The table's physical name at this hosting."""
+        return self.table.name
+
+    def physical_column(self, logical: str) -> str:
+        """Physical column name for a logical one; raises on miss."""
+        col = self.table.column_by_logical(logical)
+        if col is None:
+            raise XSpecError(
+                f"logical column {logical!r} unknown in {self.logical_table!r} "
+                f"at {self.database_name!r}"
+            )
+        return col.name
+
+
+class DataDictionary:
+    """Logical-name resolution over a set of XSpec documents."""
+
+    def __init__(self) -> None:
+        self._locations: dict[str, list[TableLocation]] = {}
+        self._databases: dict[str, LowerXSpec] = {}
+        self._urls: dict[str, str] = {}
+
+    # -- construction ---------------------------------------------------------
+
+    @staticmethod
+    def build(upper: UpperXSpec, lower_specs: dict[str, LowerXSpec]) -> "DataDictionary":
+        """Assemble a dictionary from the upper spec + its lower specs.
+
+        ``lower_specs`` is keyed by the upper entries' ``lower_spec``
+        reference names.
+        """
+        dictionary = DataDictionary()
+        for entry in upper.entries:
+            lower = lower_specs.get(entry.lower_spec)
+            if lower is None:
+                raise XSpecError(
+                    f"upper XSpec references missing lower spec {entry.lower_spec!r}"
+                )
+            dictionary.add_database(lower, entry.url)
+        return dictionary
+
+    def add_database(
+        self, spec: LowerXSpec, url: str, remote_server: str | None = None
+    ) -> None:
+        """Register (or refresh) one database's tables."""
+        self.remove_database(spec.database_name)
+        self._databases[spec.database_name] = spec
+        self._urls[spec.database_name] = url
+        for table in spec.tables:
+            self._locations.setdefault(table.logical_name.lower(), []).append(
+                TableLocation(
+                    logical_table=table.logical_name,
+                    database_name=spec.database_name,
+                    url=url,
+                    vendor=spec.vendor,
+                    table=table,
+                    remote_server=remote_server,
+                )
+            )
+
+    def remove_database(self, database_name: str) -> None:
+        """Drop a database and every location it contributed."""
+        if database_name not in self._databases:
+            return
+        del self._databases[database_name]
+        del self._urls[database_name]
+        for logical in list(self._locations):
+            kept = [
+                loc
+                for loc in self._locations[logical]
+                if loc.database_name != database_name
+            ]
+            if kept:
+                self._locations[logical] = kept
+            else:
+                del self._locations[logical]
+
+    # -- queries ---------------------------------------------------------------
+
+    def locations(self, logical_table: str) -> list[TableLocation]:
+        """All physical hostings of ``logical_table`` (may be replicas)."""
+        return list(self._locations.get(logical_table.lower(), []))
+
+    def locate(self, logical_table: str) -> TableLocation:
+        """First hosting of ``logical_table``; raises when unregistered."""
+        found = self.locations(logical_table)
+        if not found:
+            raise TableNotRegisteredError(logical_table)
+        return found[0]
+
+    def has_table(self, logical_table: str) -> bool:
+        """True when some hosting of the logical table is known."""
+        return logical_table.lower() in self._locations
+
+    def logical_tables(self) -> list[str]:
+        """Sorted logical table names across every database."""
+        return sorted(self._locations)
+
+    def databases(self) -> list[str]:
+        """Sorted names of every registered database."""
+        return sorted(self._databases)
+
+    def spec_for(self, database_name: str) -> LowerXSpec:
+        """The lower XSpec of a registered database."""
+        spec = self._databases.get(database_name)
+        if spec is None:
+            raise XSpecError(f"no spec registered for database {database_name!r}")
+        return spec
+
+    def url_for(self, database_name: str) -> str:
+        """The connection URL of a registered database."""
+        url = self._urls.get(database_name)
+        if url is None:
+            raise XSpecError(f"no URL registered for database {database_name!r}")
+        return url

@@ -1,0 +1,115 @@
+"""Schema diffs between XSpec versions.
+
+The §4.9 tracker detects *that* a schema changed (size/md5); operators
+need to know *what* changed before trusting a refreshed dictionary.
+``diff_specs`` compares two lower XSpecs structurally: tables added and
+removed, and per-table column additions, removals and type/nullability
+changes. The tracker records the diff of every detected change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.metadata.xspec import LowerXSpec, XSpecTable
+
+
+@dataclass(frozen=True)
+class ColumnChange:
+    """One column whose definition changed between versions."""
+
+    column: str
+    before: str  # rendered vendor type + flags
+    after: str
+
+
+@dataclass
+class TableDiff:
+    """Changes within one table present in both versions."""
+
+    table: str
+    added_columns: list[str] = field(default_factory=list)
+    removed_columns: list[str] = field(default_factory=list)
+    changed_columns: list[ColumnChange] = field(default_factory=list)
+
+    @property
+    def empty(self) -> bool:
+        return not (self.added_columns or self.removed_columns or self.changed_columns)
+
+
+@dataclass
+class SchemaDiff:
+    """The full delta between two spec versions of one database."""
+
+    database: str
+    added_tables: list[str] = field(default_factory=list)
+    removed_tables: list[str] = field(default_factory=list)
+    table_diffs: list[TableDiff] = field(default_factory=list)
+
+    @property
+    def empty(self) -> bool:
+        return not (self.added_tables or self.removed_tables or self.table_diffs)
+
+    def summary(self) -> str:
+        """One-line operator summary, e.g. '+2 tables, EVT: +1 col'."""
+        parts: list[str] = []
+        if self.added_tables:
+            parts.append(f"+{len(self.added_tables)} table(s): {', '.join(self.added_tables)}")
+        if self.removed_tables:
+            parts.append(f"-{len(self.removed_tables)} table(s): {', '.join(self.removed_tables)}")
+        for td in self.table_diffs:
+            bits = []
+            if td.added_columns:
+                bits.append(f"+{', '.join(td.added_columns)}")
+            if td.removed_columns:
+                bits.append(f"-{', '.join(td.removed_columns)}")
+            if td.changed_columns:
+                bits.append(
+                    "~" + ", ".join(c.column for c in td.changed_columns)
+                )
+            parts.append(f"{td.table}: {' '.join(bits)}")
+        return "; ".join(parts) if parts else "no structural change"
+
+
+def _column_signature(col) -> str:
+    flags = []
+    if col.primary_key:
+        flags.append("PK")
+    if col.not_null:
+        flags.append("NOT NULL")
+    suffix = f" {' '.join(flags)}" if flags else ""
+    return f"{col.vendor_type}{suffix}"
+
+
+def _diff_table(old: XSpecTable, new: XSpecTable) -> TableDiff:
+    diff = TableDiff(table=new.name)
+    old_cols = {c.name.lower(): c for c in old.columns}
+    new_cols = {c.name.lower(): c for c in new.columns}
+    for key in sorted(new_cols.keys() - old_cols.keys()):
+        diff.added_columns.append(new_cols[key].name)
+    for key in sorted(old_cols.keys() - new_cols.keys()):
+        diff.removed_columns.append(old_cols[key].name)
+    for key in sorted(old_cols.keys() & new_cols.keys()):
+        before = _column_signature(old_cols[key])
+        after = _column_signature(new_cols[key])
+        if before != after:
+            diff.changed_columns.append(
+                ColumnChange(new_cols[key].name, before, after)
+            )
+    return diff
+
+
+def diff_specs(old: LowerXSpec, new: LowerXSpec) -> SchemaDiff:
+    """Structural delta from ``old`` to ``new`` (same database)."""
+    diff = SchemaDiff(database=new.database_name)
+    old_tables = {t.logical_name.lower(): t for t in old.tables}
+    new_tables = {t.logical_name.lower(): t for t in new.tables}
+    for key in sorted(new_tables.keys() - old_tables.keys()):
+        diff.added_tables.append(new_tables[key].name)
+    for key in sorted(old_tables.keys() - new_tables.keys()):
+        diff.removed_tables.append(old_tables[key].name)
+    for key in sorted(old_tables.keys() & new_tables.keys()):
+        table_diff = _diff_table(old_tables[key], new_tables[key])
+        if not table_diff.empty:
+            diff.table_diffs.append(table_diff)
+    return diff

@@ -1,0 +1,104 @@
+"""File-backed XSpec store.
+
+In the paper the XSpec documents are real XML files: lower-level specs
+generated per database by the Unity tooling, the single upper-level
+spec written by hand, and the tracker's regenerated files compared on
+disk. This module persists and reloads that layout::
+
+    <root>/
+      upper.xspec
+      <database_name>.xspec      (one per participating database)
+
+so a federation's metadata survives process restarts and can be
+inspected/edited with ordinary tools.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.common.errors import XSpecError
+from repro.metadata.dictionary import DataDictionary
+from repro.metadata.upper import UpperXSpec, UpperXSpecEntry
+from repro.metadata.xspec import LowerXSpec
+
+UPPER_FILENAME = "upper.xspec"
+
+
+class XSpecStore:
+    """Reads and writes the XSpec file layout under one directory."""
+
+    def __init__(self, root: str | pathlib.Path):
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- paths ------------------------------------------------------------------
+
+    @property
+    def upper_path(self) -> pathlib.Path:
+        return self.root / UPPER_FILENAME
+
+    def lower_path(self, database_name: str) -> pathlib.Path:
+        return self.root / f"{database_name}.xspec"
+
+    # -- writing ------------------------------------------------------------------
+
+    def save_lower(self, spec: LowerXSpec) -> pathlib.Path:
+        path = self.lower_path(spec.database_name)
+        path.write_text(spec.to_xml(), encoding="utf-8")
+        return path
+
+    def save_upper(self, upper: UpperXSpec) -> pathlib.Path:
+        self.upper_path.write_text(upper.to_xml(), encoding="utf-8")
+        return self.upper_path
+
+    def save_dictionary(self, dictionary: DataDictionary) -> UpperXSpec:
+        """Persist every database of a dictionary plus the upper spec."""
+        entries = []
+        for name in dictionary.databases():
+            spec = dictionary.spec_for(name)
+            self.save_lower(spec)
+            entries.append(
+                UpperXSpecEntry(
+                    name=name,
+                    url=dictionary.url_for(name),
+                    driver=spec.vendor,
+                    lower_spec=self.lower_path(name).name,
+                )
+            )
+        upper = UpperXSpec(tuple(entries))
+        self.save_upper(upper)
+        return upper
+
+    # -- reading ---------------------------------------------------------------------
+
+    def load_lower(self, database_name: str) -> LowerXSpec:
+        path = self.lower_path(database_name)
+        if not path.exists():
+            raise XSpecError(f"no lower XSpec file for {database_name!r} at {path}")
+        return LowerXSpec.from_xml(path.read_text(encoding="utf-8"))
+
+    def load_upper(self) -> UpperXSpec:
+        if not self.upper_path.exists():
+            raise XSpecError(f"no upper XSpec file at {self.upper_path}")
+        return UpperXSpec.from_xml(self.upper_path.read_text(encoding="utf-8"))
+
+    def load_dictionary(self) -> DataDictionary:
+        """Rebuild a data dictionary from the stored file layout."""
+        upper = self.load_upper()
+        lowers: dict[str, LowerXSpec] = {}
+        for entry in upper.entries:
+            path = self.root / entry.lower_spec
+            if not path.exists():
+                raise XSpecError(
+                    f"upper spec references missing file {entry.lower_spec!r}"
+                )
+            lowers[entry.lower_spec] = LowerXSpec.from_xml(
+                path.read_text(encoding="utf-8")
+            )
+        return DataDictionary.build(upper, lowers)
+
+    def list_specs(self) -> list[str]:
+        return sorted(
+            p.stem for p in self.root.glob("*.xspec") if p.name != UPPER_FILENAME
+        )

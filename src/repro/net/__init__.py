@@ -1,0 +1,16 @@
+"""Virtual-time network simulation.
+
+The paper's measurements were taken on a 100 Mbps Ethernet LAN between
+two Pentium IV machines. We reproduce those quantities in *virtual
+time*: a :class:`SimClock` accumulates milliseconds charged by network
+transfers (latency + bytes/bandwidth), vendor handshakes, per-row engine
+work and middleware overheads. Virtual time makes every benchmark
+deterministic and lets a laptop reproduce wall-clock-scale experiments
+in milliseconds of real time.
+"""
+
+from repro.net.simclock import SimClock
+from repro.net.network import Host, Link, Network
+from repro.net import costs
+
+__all__ = ["Host", "Link", "Network", "SimClock", "costs"]

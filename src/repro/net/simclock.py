@@ -1,0 +1,93 @@
+"""The virtual clock.
+
+A :class:`SimClock` is a monotonically advancing millisecond counter.
+Sequential work calls :meth:`advance_ms`; concurrent work (the paper's
+remote JClarens servers processing forwarded sub-queries in parallel)
+uses :meth:`branch` to fork per-branch clocks and :meth:`join_max` to
+advance the parent to the latest finisher.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """Millisecond virtual clock with fork/join for parallel branches."""
+
+    def __init__(self, start_ms: float = 0.0):
+        self.now_ms = float(start_ms)
+        self._marks: list[tuple[str, float]] = []
+
+    def advance_ms(self, ms: float) -> None:
+        """Advance time by a non-negative duration."""
+        if ms < 0:
+            raise ValueError(f"cannot advance clock by negative duration {ms}")
+        self.now_ms += ms
+
+    def advance_s(self, seconds: float) -> None:
+        self.advance_ms(seconds * 1000.0)
+
+    # -- measurement -----------------------------------------------------------
+
+    def mark(self, label: str) -> None:
+        """Record a named timestamp (useful when debugging cost models)."""
+        self._marks.append((label, self.now_ms))
+
+    @property
+    def marks(self) -> list[tuple[str, float]]:
+        return list(self._marks)
+
+    def elapsed_since(self, start_ms: float) -> float:
+        return self.now_ms - start_ms
+
+    # -- fork/join ----------------------------------------------------------------
+
+    def branch(self) -> "SimClock":
+        """A child clock starting at the current instant."""
+        return SimClock(self.now_ms)
+
+    def join_max(self, *branches: "SimClock") -> float:
+        """Join parallel branches: jump to the latest branch finish time.
+
+        Returns the duration of the slowest branch. Branches that never
+        advanced contribute zero.
+        """
+        if not branches:
+            return 0.0
+        latest = max(b.now_ms for b in branches)
+        if latest < self.now_ms:
+            raise ValueError("branch clock ended before its fork point")
+        duration = latest - self.now_ms
+        self.now_ms = latest
+        return duration
+
+    def rewind_to(self, instant_ms: float) -> None:
+        """Rewind to an earlier instant.
+
+        Only legitimate inside a parallel section: run branch A, record
+        its duration, rewind, run branch B, ..., then advance by the
+        maximum. Virtual time makes this sound because branches only
+        ever *advance* the clock.
+        """
+        if instant_ms > self.now_ms:
+            raise ValueError("rewind_to cannot move the clock forward")
+        self.now_ms = instant_ms
+
+    def run_parallel(self, branches) -> float:
+        """Execute callables as parallel branches; clock ends at the max.
+
+        Returns the duration of the slowest branch. Each branch runs
+        sequentially in real execution order but is charged from the
+        same virtual start instant — the fork/join pattern the paper's
+        remote JClarens servers exhibit.
+        """
+        start = self.now_ms
+        longest = 0.0
+        for branch in branches:
+            branch()
+            longest = max(longest, self.now_ms - start)
+            self.rewind_to(start)
+        self.advance_ms(longest)
+        return longest
+
+    def __repr__(self) -> str:
+        return f"SimClock(now_ms={self.now_ms:.3f})"

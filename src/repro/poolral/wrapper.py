@@ -1,0 +1,49 @@
+"""The two-method wrapper facade the paper's JNI layer exposes (§4.7).
+
+Method 1 — ``initialize_handler(connection_string, user, password)``:
+creates a service handle and adds it to the list of initialized handles.
+
+Method 2 — ``execute(connection_string, select_fields, table_names,
+where_clause)``: runs the query through the handle for that connection
+string and returns a 2-D array of results.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import DriverError
+from repro.poolral.ral import PoolRAL
+
+
+class PoolRALWrapper:
+    """Exactly the JNI surface: two methods, 2-D arrays out."""
+
+    def __init__(self, ral: PoolRAL):
+        self._ral = ral
+
+    def initialize_handler(
+        self, connection_string: str, user: str = "grid", password: str = "grid"
+    ) -> bool:
+        """Initialize a service handle for a new database (method 1)."""
+        self._ral.initialize(connection_string, user, password)
+        return True
+
+    def execute(
+        self,
+        connection_string: str,
+        select_fields: list[str],
+        table_names: list[str],
+        where_clause: str = "",
+    ) -> list[list]:
+        """Execute a select through POOL (method 2); returns a 2-D array."""
+        if not self._ral.has_handle(connection_string):
+            raise DriverError(
+                f"no initialized POOL handle for {connection_string!r}; "
+                "call initialize_handler first"
+            )
+        if not select_fields or not table_names:
+            raise DriverError("execute requires select fields and table names")
+        sql = f"SELECT {', '.join(select_fields)} FROM {', '.join(table_names)}"
+        if where_clause.strip():
+            sql += f" WHERE {where_clause}"
+        cursor = self._ral.execute_sql(connection_string, sql)
+        return [list(row) for row in cursor.fetchall()]

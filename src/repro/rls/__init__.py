@@ -1,0 +1,14 @@
+"""Replica Location Service (§4.8).
+
+A central server maps logical table names to the URLs of the JClarens
+servers hosting them. Service instances publish their tables on
+startup (and on plug-in/schema events); the data access layer performs
+a lookup whenever a query references a table with no local
+registration. The RLS is what lets many small service instances share
+the hosting load instead of one server registering every database.
+"""
+
+from repro.rls.server import RLSServer
+from repro.rls.client import RLSClient
+
+__all__ = ["RLSClient", "RLSServer"]

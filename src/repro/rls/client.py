@@ -1,0 +1,42 @@
+"""RLS client: pays the wire to the central server for every operation."""
+
+from __future__ import annotations
+
+from repro.clarens.codec import payload_bytes
+from repro.net.network import Network
+from repro.net.simclock import SimClock
+from repro.rls.server import RLSServer
+
+
+class RLSClient:
+    """Talks to the central RLS server from one grid host."""
+
+    def __init__(self, host: str, network: Network, clock: SimClock, server: RLSServer):
+        self.host = host
+        self.network = network
+        self.clock = clock
+        self.server = server
+
+    def publish(self, logical_table: str, server_url: str) -> None:
+        request = payload_bytes("rls.publish", [logical_table, server_url])
+        self.network.transfer(self.host, self.server.host, request, self.clock)
+        self.server.publish(logical_table, server_url)
+        ack = payload_bytes("rls.publish", True)
+        self.network.transfer(self.server.host, self.host, ack, self.clock)
+
+    def publish_many(self, tables: list[str], server_url: str) -> None:
+        """Bulk publication used at service startup (one message)."""
+        request = payload_bytes("rls.publish_many", [tables, server_url])
+        self.network.transfer(self.host, self.server.host, request, self.clock)
+        for table in tables:
+            self.server.publish(table, server_url)
+        ack = payload_bytes("rls.publish_many", True)
+        self.network.transfer(self.server.host, self.host, ack, self.clock)
+
+    def lookup(self, logical_table: str) -> list[str]:
+        request = payload_bytes("rls.lookup", logical_table)
+        self.network.transfer(self.host, self.server.host, request, self.clock)
+        urls = self.server.lookup(logical_table)
+        response = payload_bytes("rls.lookup", urls)
+        self.network.transfer(self.server.host, self.host, response, self.clock)
+        return urls

@@ -1,0 +1,20 @@
+"""SQL front-end: lexer, AST, parser, expression compiler, logical plans.
+
+This package is vendor-neutral. Vendor-specific surface syntax (LIMIT vs
+TOP vs ROWNUM, quoting, type names) is normalized by ``repro.dialects``
+before or after the text passes through here.
+"""
+
+from repro.sql.lexer import Token, TokenType, tokenize
+from repro.sql.parser import parse_expression, parse_select, parse_statement
+from repro.sql import ast
+
+__all__ = [
+    "Token",
+    "TokenType",
+    "ast",
+    "parse_expression",
+    "parse_select",
+    "parse_statement",
+    "tokenize",
+]

@@ -1,0 +1,552 @@
+"""SQL abstract syntax tree.
+
+All nodes are frozen dataclasses with an ``unparse()`` that renders
+canonical (vendor-neutral) SQL text. The federation layer relies on
+``unparse`` to rewrite decomposed sub-queries, so round-tripping
+``parse(unparse(node)) == node`` is a tested invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.types import SQLType, sql_repr
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+    def unparse(self) -> str:  # pragma: no cover - abstract
+        """Render canonical SQL text; parse(unparse(e)) is a fixed point."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: object
+
+    def unparse(self) -> str:
+        return sql_repr(self.value)
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    """A positional ``?`` parameter, bound at execution time."""
+
+    index: int
+
+    def unparse(self) -> str:
+        return "?"
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """A possibly-qualified column reference ``table.column``."""
+
+    column: str
+    table: str | None = None
+
+    def unparse(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """``*`` or ``table.*`` in a select list or COUNT(*)."""
+
+    table: str | None = None
+
+    def unparse(self) -> str:
+        return f"{self.table}.*" if self.table else "*"
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def unparse(self) -> str:
+        return f"({self.left.unparse()} {self.op} {self.right.unparse()})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str  # 'NOT' or '-'
+    operand: Expr
+
+    def unparse(self) -> str:
+        if self.op == "NOT":
+            return f"(NOT {self.operand.unparse()})"
+        return f"({self.op}{self.operand.unparse()})"
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expr):
+    name: str
+    args: tuple[Expr, ...]
+    distinct: bool = False
+
+    def unparse(self) -> str:
+        inner = ", ".join(a.unparse() for a in self.args)
+        if self.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{self.name}({inner})"
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+    def unparse(self) -> str:
+        tail = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.operand.unparse()} {tail})"
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    operand: Expr
+    items: tuple[Expr, ...]
+    negated: bool = False
+
+    def unparse(self) -> str:
+        op = "NOT IN" if self.negated else "IN"
+        inner = ", ".join(i.unparse() for i in self.items)
+        return f"({self.operand.unparse()} {op} ({inner}))"
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+    def unparse(self) -> str:
+        op = "NOT BETWEEN" if self.negated else "BETWEEN"
+        return f"({self.operand.unparse()} {op} {self.low.unparse()} AND {self.high.unparse()})"
+
+
+@dataclass(frozen=True)
+class Like(Expr):
+    operand: Expr
+    pattern: Expr
+    negated: bool = False
+
+    def unparse(self) -> str:
+        op = "NOT LIKE" if self.negated else "LIKE"
+        return f"({self.operand.unparse()} {op} {self.pattern.unparse()})"
+
+
+@dataclass(frozen=True)
+class Case(Expr):
+    whens: tuple[tuple[Expr, Expr], ...]
+    else_: Expr | None = None
+
+    def unparse(self) -> str:
+        parts = ["CASE"]
+        for cond, result in self.whens:
+            parts.append(f"WHEN {cond.unparse()} THEN {result.unparse()}")
+        if self.else_ is not None:
+            parts.append(f"ELSE {self.else_.unparse()}")
+        parts.append("END")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class Cast(Expr):
+    operand: Expr
+    target: SQLType
+
+    def unparse(self) -> str:
+        return f"CAST({self.operand.unparse()} AS {self.target})"
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(Expr):
+    """A parenthesized SELECT used as a scalar value (non-correlated)."""
+
+    select: "Select"
+
+    def unparse(self) -> str:
+        return f"({self.select.unparse()})"
+
+
+@dataclass(frozen=True)
+class InSubquery(Expr):
+    """``expr [NOT] IN (SELECT ...)`` (non-correlated)."""
+
+    operand: Expr
+    select: "Select"
+    negated: bool = False
+
+    def unparse(self) -> str:
+        op = "NOT IN" if self.negated else "IN"
+        return f"({self.operand.unparse()} {op} ({self.select.unparse()}))"
+
+
+@dataclass(frozen=True)
+class Exists(Expr):
+    """``[NOT] EXISTS (SELECT ...)`` (non-correlated)."""
+
+    select: "Select"
+    negated: bool = False
+
+    def unparse(self) -> str:
+        op = "NOT EXISTS" if self.negated else "EXISTS"
+        return f"({op} ({self.select.unparse()}))"
+
+
+AGGREGATE_FUNCTIONS = frozenset(
+    {"COUNT", "SUM", "AVG", "MIN", "MAX", "STDDEV", "VARIANCE"}
+)
+
+
+def contains_aggregate(expr: Expr) -> bool:
+    """True if any node under ``expr`` is an aggregate function call."""
+    if isinstance(expr, FunctionCall) and expr.name.upper() in AGGREGATE_FUNCTIONS:
+        return True
+    for child in _children(expr):
+        if contains_aggregate(child):
+            return True
+    return False
+
+
+def contains_subquery(expr: Expr) -> bool:
+    """True if any node under ``expr`` embeds a subquery."""
+    return any(
+        isinstance(node, (ScalarSubquery, InSubquery, Exists)) for node in walk(expr)
+    )
+
+
+def _children(expr: Expr) -> tuple[Expr, ...]:
+    if isinstance(expr, BinaryOp):
+        return (expr.left, expr.right)
+    if isinstance(expr, UnaryOp):
+        return (expr.operand,)
+    if isinstance(expr, FunctionCall):
+        return expr.args
+    if isinstance(expr, IsNull):
+        return (expr.operand,)
+    if isinstance(expr, InList):
+        return (expr.operand, *expr.items)
+    if isinstance(expr, Between):
+        return (expr.operand, expr.low, expr.high)
+    if isinstance(expr, Like):
+        return (expr.operand, expr.pattern)
+    if isinstance(expr, Case):
+        out: list[Expr] = []
+        for cond, result in expr.whens:
+            out.extend((cond, result))
+        if expr.else_ is not None:
+            out.append(expr.else_)
+        return tuple(out)
+    if isinstance(expr, Cast):
+        return (expr.operand,)
+    if isinstance(expr, InSubquery):
+        return (expr.operand,)
+    return ()
+
+
+def walk(expr: Expr):
+    """Yield ``expr`` and every descendant, pre-order."""
+    yield expr
+    for child in _children(expr):
+        yield from walk(child)
+
+
+def column_refs(expr: Expr) -> list[ColumnRef]:
+    """All column references in ``expr``, in source order."""
+    return [node for node in walk(expr) if isinstance(node, ColumnRef)]
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Statement:
+    """Base class for statement nodes."""
+
+    def unparse(self) -> str:  # pragma: no cover - abstract
+        """Render canonical SQL text; parse(unparse(s)) is a fixed point."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A table in a FROM clause, with optional alias."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        """The name this table is visible as inside the query."""
+        return self.alias or self.name
+
+    def unparse(self) -> str:
+        return f"{self.name} AS {self.alias}" if self.alias else self.name
+
+
+@dataclass(frozen=True)
+class Join:
+    kind: str  # 'INNER', 'LEFT', 'CROSS'
+    table: TableRef
+    on: Expr | None = None
+
+    def unparse(self) -> str:
+        head = f"{self.kind} JOIN {self.table.unparse()}"
+        if self.on is not None:
+            head += f" ON {self.on.unparse()}"
+        return head
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: str | None = None
+
+    def unparse(self) -> str:
+        text = self.expr.unparse()
+        return f"{text} AS {self.alias}" if self.alias else text
+
+    def output_name(self, ordinal: int) -> str:
+        """The column name this item produces in the result set."""
+        if self.alias:
+            return self.alias
+        if isinstance(self.expr, ColumnRef):
+            return self.expr.column
+        return f"col{ordinal}"
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    ascending: bool = True
+
+    def unparse(self) -> str:
+        return f"{self.expr.unparse()} {'ASC' if self.ascending else 'DESC'}"
+
+
+@dataclass(frozen=True)
+class Select(Statement):
+    items: tuple[SelectItem, ...]
+    from_: tuple[TableRef, ...] = ()
+    joins: tuple[Join, ...] = ()
+    where: Expr | None = None
+    group_by: tuple[Expr, ...] = ()
+    having: Expr | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    offset: int | None = None
+    distinct: bool = False
+
+    def unparse(self) -> str:
+        parts = ["SELECT"]
+        if self.distinct:
+            parts.append("DISTINCT")
+        parts.append(", ".join(item.unparse() for item in self.items))
+        if self.from_:
+            parts.append("FROM")
+            parts.append(", ".join(t.unparse() for t in self.from_))
+        for join in self.joins:
+            parts.append(join.unparse())
+        if self.where is not None:
+            parts.append(f"WHERE {self.where.unparse()}")
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(g.unparse() for g in self.group_by))
+        if self.having is not None:
+            parts.append(f"HAVING {self.having.unparse()}")
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(o.unparse() for o in self.order_by))
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        if self.offset is not None:
+            parts.append(f"OFFSET {self.offset}")
+        return " ".join(parts)
+
+    def referenced_tables(self) -> list[TableRef]:
+        """Every table this query touches (FROM list plus joins)."""
+        return list(self.from_) + [j.table for j in self.joins]
+
+
+@dataclass(frozen=True)
+class Union(Statement):
+    """UNION [ALL] chain; trailing ORDER BY/LIMIT apply to the whole set."""
+
+    selects: tuple[Select, ...]
+    all: bool = False
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    offset: int | None = None
+
+    def unparse(self) -> str:
+        joiner = " UNION ALL " if self.all else " UNION "
+        text = joiner.join(s.unparse() for s in self.selects)
+        if self.order_by:
+            text += " ORDER BY " + ", ".join(o.unparse() for o in self.order_by)
+        if self.limit is not None:
+            text += f" LIMIT {self.limit}"
+        if self.offset is not None:
+            text += f" OFFSET {self.offset}"
+        return text
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    type: SQLType
+    not_null: bool = False
+    primary_key: bool = False
+    default: object = None
+    has_default: bool = False
+
+    def unparse(self) -> str:
+        parts = [self.name, str(self.type)]
+        if self.primary_key:
+            parts.append("PRIMARY KEY")
+        if self.not_null and not self.primary_key:
+            parts.append("NOT NULL")
+        if self.has_default:
+            parts.append(f"DEFAULT {sql_repr(self.default)}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class CreateTable(Statement):
+    name: str
+    columns: tuple[ColumnDef, ...]
+    if_not_exists: bool = False
+
+    def unparse(self) -> str:
+        head = "CREATE TABLE "
+        if self.if_not_exists:
+            head += "IF NOT EXISTS "
+        cols = ", ".join(c.unparse() for c in self.columns)
+        return f"{head}{self.name} ({cols})"
+
+
+@dataclass(frozen=True)
+class CreateTableAs(Statement):
+    """CREATE TABLE name AS SELECT ... — schema inferred from the result."""
+
+    name: str
+    select: Select
+    if_not_exists: bool = False
+
+    def unparse(self) -> str:
+        head = "CREATE TABLE "
+        if self.if_not_exists:
+            head += "IF NOT EXISTS "
+        return f"{head}{self.name} AS {self.select.unparse()}"
+
+
+@dataclass(frozen=True)
+class DropTable(Statement):
+    name: str
+    if_exists: bool = False
+
+    def unparse(self) -> str:
+        mid = "IF EXISTS " if self.if_exists else ""
+        return f"DROP TABLE {mid}{self.name}"
+
+
+@dataclass(frozen=True)
+class CreateView(Statement):
+    name: str
+    select: Select
+
+    def unparse(self) -> str:
+        return f"CREATE VIEW {self.name} AS {self.select.unparse()}"
+
+
+@dataclass(frozen=True)
+class DropView(Statement):
+    name: str
+    if_exists: bool = False
+
+    def unparse(self) -> str:
+        mid = "IF EXISTS " if self.if_exists else ""
+        return f"DROP VIEW {mid}{self.name}"
+
+
+@dataclass(frozen=True)
+class CreateIndex(Statement):
+    name: str
+    table: str
+    columns: tuple[str, ...]
+    unique: bool = False
+
+    def unparse(self) -> str:
+        kind = "UNIQUE INDEX" if self.unique else "INDEX"
+        return f"CREATE {kind} {self.name} ON {self.table} ({', '.join(self.columns)})"
+
+
+@dataclass(frozen=True)
+class Insert(Statement):
+    table: str
+    columns: tuple[str, ...] = ()
+    rows: tuple[tuple[Expr, ...], ...] = ()
+    select: Select | None = None
+
+    def unparse(self) -> str:
+        head = f"INSERT INTO {self.table}"
+        if self.columns:
+            head += f" ({', '.join(self.columns)})"
+        if self.select is not None:
+            return f"{head} {self.select.unparse()}"
+        rows = ", ".join(
+            "(" + ", ".join(v.unparse() for v in row) + ")" for row in self.rows
+        )
+        return f"{head} VALUES {rows}"
+
+
+@dataclass(frozen=True)
+class Update(Statement):
+    table: str
+    assignments: tuple[tuple[str, Expr], ...]
+    where: Expr | None = None
+
+    def unparse(self) -> str:
+        sets = ", ".join(f"{c} = {e.unparse()}" for c, e in self.assignments)
+        text = f"UPDATE {self.table} SET {sets}"
+        if self.where is not None:
+            text += f" WHERE {self.where.unparse()}"
+        return text
+
+
+@dataclass(frozen=True)
+class Delete(Statement):
+    table: str
+    where: Expr | None = None
+
+    def unparse(self) -> str:
+        text = f"DELETE FROM {self.table}"
+        if self.where is not None:
+            text += f" WHERE {self.where.unparse()}"
+        return text
+
+
+@dataclass(frozen=True)
+class AlterTable(Statement):
+    """ALTER TABLE ... ADD COLUMN / DROP COLUMN / RENAME TO."""
+
+    table: str
+    action: str  # 'ADD', 'DROP', 'RENAME'
+    column: ColumnDef | None = None
+    column_name: str | None = None
+    new_name: str | None = None
+
+    def unparse(self) -> str:
+        if self.action == "ADD":
+            assert self.column is not None
+            return f"ALTER TABLE {self.table} ADD COLUMN {self.column.unparse()}"
+        if self.action == "DROP":
+            return f"ALTER TABLE {self.table} DROP COLUMN {self.column_name}"
+        return f"ALTER TABLE {self.table} RENAME TO {self.new_name}"

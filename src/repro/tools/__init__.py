@@ -1,0 +1,1 @@
+"""Operational tooling: report aggregation and metadata utilities."""

@@ -1,0 +1,95 @@
+"""Aggregate benchmark result files into one markdown report.
+
+``pytest benchmarks/ --benchmark-only`` leaves one plain-text table per
+experiment under ``benchmarks/results/``. This tool stitches them into
+a single ``RESULTS.md`` (or stdout) in a stable order — paper
+experiments first, ablations, then supplementary runs::
+
+    python -m repro.tools.benchreport [results_dir] [-o RESULTS.md]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+#: preferred presentation order; anything else is appended alphabetically
+PREFERRED_ORDER = [
+    "table1_query_response",
+    "fig4_etl_warehouse",
+    "fig5_materialize_marts",
+    "fig6_row_scaling",
+    "ablation_staging",
+    "ablation_rls",
+    "ablation_routing",
+    "ablation_pushdown",
+    "ablation_pooling",
+    "ext_wan_replicas",
+    "query_mix",
+    "nxs_scaling",
+]
+
+
+def collect(results_dir: pathlib.Path) -> list[tuple[str, str]]:
+    """(name, text) for every result file, in presentation order."""
+    if not results_dir.is_dir():
+        raise FileNotFoundError(f"no results directory at {results_dir}")
+    available = {p.stem: p for p in sorted(results_dir.glob("*.txt"))}
+    ordered: list[tuple[str, str]] = []
+    for name in PREFERRED_ORDER:
+        path = available.pop(name, None)
+        if path is not None:
+            ordered.append((name, path.read_text()))
+    for name in sorted(available):
+        ordered.append((name, available[name].read_text()))
+    return ordered
+
+
+def render_markdown(sections: list[tuple[str, str]]) -> str:
+    """One markdown document with each experiment in a code block."""
+    out = [
+        "# Benchmark results",
+        "",
+        "Generated from `benchmarks/results/` by `repro.tools.benchreport`.",
+        "Regenerate the inputs with `pytest benchmarks/ --benchmark-only`.",
+        "",
+    ]
+    for name, text in sections:
+        lines = text.strip().splitlines()
+        title = lines[0] if lines else name
+        body = "\n".join(lines[2:]) if len(lines) > 2 else ""
+        out.append(f"## {title}")
+        out.append("")
+        out.append("```")
+        out.append(body)
+        out.append("```")
+        out.append("")
+    return "\n".join(out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "results_dir",
+        nargs="?",
+        default="benchmarks/results",
+        help="directory of per-experiment .txt reports",
+    )
+    parser.add_argument("-o", "--output", help="write markdown here (default stdout)")
+    args = parser.parse_args(argv)
+    sections = collect(pathlib.Path(args.results_dir))
+    if not sections:
+        print("no result files found; run the benchmarks first", file=sys.stderr)
+        return 1
+    text = render_markdown(sections)
+    if args.output:
+        pathlib.Path(args.output).write_text(text)
+        print(f"wrote {args.output} ({len(sections)} experiments)")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,82 @@
+"""Federation topology report.
+
+Renders a text inventory of a :class:`~repro.core.federation.GridFederation`:
+hosts with tiers, JClarens servers with their registered databases and
+POOL/JDBC routing, the RLS table map, and non-default links. The
+operations example and debugging sessions use it to see the whole
+deployment at a glance.
+"""
+
+from __future__ import annotations
+
+from repro.core.federation import GridFederation
+from repro.dialects import get_dialect
+
+
+def describe_federation(fed: GridFederation) -> str:
+    """Multi-line text description of the deployment."""
+    lines: list[str] = ["grid federation topology", "========================"]
+
+    lines.append("hosts:")
+    for host in fed.network.hosts():
+        flags = []
+        if not fed.network.is_reachable(host.name, host.name):
+            flags.append("DOWN")
+        suffix = f" [{' '.join(flags)}]" if flags else ""
+        lines.append(f"  {host.name} (tier {host.tier}){suffix}")
+
+    lines.append("servers:")
+    for handle in fed.servers():
+        service = handle.service
+        pool = "pooled-jdbc" if service.router.jdbc_pool else "jdbc-per-query"
+        selector = "proximity" if service.replica_selector else "first-listed"
+        lines.append(
+            f"  {handle.name} @ {handle.host} "
+            f"({pool}, replica policy: {selector})"
+        )
+        for db_name in service.dictionary.databases():
+            spec = service.dictionary.spec_for(db_name)
+            url = service.dictionary.url_for(db_name)
+            dialect = get_dialect(spec.vendor)
+            route = "POOL-RAL" if dialect.pool_supported else "JDBC"
+            remote = any(
+                loc.is_remote
+                for t in spec.tables
+                for loc in service.dictionary.locations(t.logical_name)
+                if loc.database_name == db_name
+            )
+            origin = "remote" if remote else "local"
+            tables = ", ".join(spec.logical_table_names()[:6])
+            more = len(spec.logical_table_names()) - 6
+            if more > 0:
+                tables += f", … +{more}"
+            lines.append(
+                f"    {db_name} [{spec.vendor}/{route}/{origin}] {url}"
+            )
+            lines.append(f"      tables: {tables}")
+
+    lines.append("replica location service:")
+    lines.append(f"  host {fed.rls_server.host}; "
+                 f"{len(fed.rls_server.known_tables())} table(s) mapped; "
+                 f"{fed.rls_server.lookups} lookups, "
+                 f"{fed.rls_server.publishes} publishes")
+    for table in fed.rls_server.known_tables():
+        urls = fed.rls_server._mappings[table]
+        lines.append(f"  {table}: {', '.join(urls)}")
+
+    overrides = getattr(fed.network, "_links", {})
+    if overrides:
+        lines.append("link overrides:")
+        for pair, link in sorted(overrides.items(), key=lambda kv: sorted(kv[0])):
+            a, b = sorted(pair)
+            lines.append(
+                f"  {a} <-> {b}: {link.bandwidth_mbps:g} Mbps, "
+                f"{link.latency_ms:g} ms"
+            )
+
+    lines.append(
+        f"traffic: {fed.network.messages} messages, "
+        f"{fed.network.bytes_moved} bytes; "
+        f"virtual time {fed.clock.now_ms / 1000:.3f} s"
+    )
+    return "\n".join(lines)

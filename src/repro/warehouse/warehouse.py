@@ -1,0 +1,45 @@
+"""The warehouse object: Oracle at Tier-0 plus its ETL plumbing."""
+
+from __future__ import annotations
+
+from repro.engine.database import Database
+from repro.net.network import Network
+from repro.net.simclock import SimClock
+from repro.warehouse.etl import ETLJob, ETLPipeline, ETLReport
+from repro.warehouse.schema import (
+    create_warehouse_schema,
+    create_warehouse_views,
+)
+
+
+class Warehouse:
+    """The Tier-0 Oracle data warehouse with a denormalized star schema."""
+
+    def __init__(
+        self,
+        network: Network,
+        clock: SimClock,
+        host: str = "tier0.cern.ch",
+        name: str = "warehouse",
+        nvar: int = 8,
+        wide_vars: int | None = None,
+    ):
+        self.network = network
+        self.clock = clock
+        self.host = host
+        self.nvar = nvar
+        if not network.has_host(host):
+            network.add_host(host, tier=0)
+        self.db = Database(name, "oracle")
+        create_warehouse_schema(self.db, nvar)
+        create_warehouse_views(self.db, nvar, wide_vars)
+        self.pipeline = ETLPipeline(network, clock, self.db, host)
+
+    def load(self, job: ETLJob, direct: bool = False) -> ETLReport:
+        """Run one ETL job into the warehouse (staged unless ``direct``)."""
+        if direct:
+            return self.pipeline.run_direct(job)
+        return self.pipeline.run(job)
+
+    def row_count(self, table: str) -> int:
+        return self.db.catalog.get_table(table).row_count

@@ -1,0 +1,72 @@
+"""Shared fixtures: a small two-vendor federation used across test files."""
+
+import pytest
+
+from repro.dialects import get_dialect
+from repro.driver import Directory
+from repro.engine import Database
+from repro.metadata import DataDictionary, generate_lower_xspec
+
+
+def make_events_db(n_events: int = 10) -> Database:
+    db = Database("mart_mysql", "mysql")
+    db.execute(
+        "CREATE TABLE EVT (EVENT_ID INT PRIMARY KEY, RUN_ID INT, ENERGY DOUBLE, "
+        "TAG VARCHAR(8))"
+    )
+    for i in range(n_events):
+        tag = "hot" if i % 2 else "cold"
+        db.execute(f"INSERT INTO EVT VALUES ({i}, {i % 3}, {i * 1.5}, '{tag}')")
+    return db
+
+
+def make_runs_db() -> Database:
+    db = Database("mart_mssql", "mssql")
+    db.execute(
+        "CREATE TABLE RUN_INFO (RUN_ID INT PRIMARY KEY, DETECTOR NVARCHAR(20), "
+        "GOOD INT)"
+    )
+    for i, (det, good) in enumerate([("cms", 1), ("atlas", 1), ("lhcb", 0)]):
+        db.execute(f"INSERT INTO RUN_INFO VALUES ({i}, '{det}', {good})")
+    return db
+
+
+@pytest.fixture
+def two_db_federation():
+    """(directory, dictionary, events_db, runs_db, urls) across two vendors."""
+    directory = Directory()
+    dictionary = DataDictionary()
+
+    events = make_events_db()
+    url1 = get_dialect("mysql").make_url("tier2a", None, "mart_mysql")
+    directory.register(url1, events, host_name="tier2a")
+    dictionary.add_database(
+        generate_lower_xspec(events, logical_names={"EVT": "events"}), url1
+    )
+
+    runs = make_runs_db()
+    url2 = get_dialect("mssql").make_url("tier2b", None, "mart_mssql")
+    directory.register(url2, runs, host_name="tier2b")
+    dictionary.add_database(
+        generate_lower_xspec(runs, logical_names={"RUN_INFO": "runs"}), url2
+    )
+    return directory, dictionary, events, runs, (url1, url2)
+
+
+def reference_database() -> Database:
+    """All the same data in ONE engine, with logical names — the oracle
+    for federated-vs-single-engine equivalence checks."""
+    db = Database("reference", "generic")
+    db.execute(
+        "CREATE TABLE events (event_id INT PRIMARY KEY, run_id INT, energy DOUBLE, "
+        "tag VARCHAR(8))"
+    )
+    db.execute(
+        "CREATE TABLE runs (run_id INT PRIMARY KEY, detector VARCHAR(20), good INT)"
+    )
+    for i in range(10):
+        tag = "hot" if i % 2 else "cold"
+        db.execute(f"INSERT INTO events VALUES ({i}, {i % 3}, {i * 1.5}, '{tag}')")
+    for i, (det, good) in enumerate([("cms", 1), ("atlas", 1), ("lhcb", 0)]):
+        db.execute(f"INSERT INTO runs VALUES ({i}, '{det}', {good})")
+    return db

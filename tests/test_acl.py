@@ -1,0 +1,77 @@
+"""Tests for Clarens method-level access control."""
+
+import pytest
+
+from repro.common import AuthenticationError
+from repro.core import GridFederation
+from repro.dialects import get_dialect
+from repro.engine import Database
+from repro.metadata import generate_lower_xspec
+
+
+@pytest.fixture
+def fed():
+    federation = GridFederation()
+    server = federation.create_server("jc1", "pc1")
+    db = Database("mart", "mysql")
+    db.execute("CREATE TABLE T (A INT PRIMARY KEY)")
+    db.execute("INSERT INTO T VALUES (1)")
+    federation.attach_database(server, db, logical_names={"T": "t"})
+    server.server.add_account("reader", "readerpw", groups=("users",))
+    server.server.add_account("operator", "oppw", groups=("users", "admin"))
+    return federation, server
+
+
+def plugin_args(federation):
+    new_db = Database("extra", "sqlite")
+    new_db.execute("CREATE TABLE x (k INTEGER PRIMARY KEY)")
+    url = get_dialect("sqlite").make_url("pc1", None, "extra")
+    federation.directory.register(url, new_db, host_name="pc1")
+    return generate_lower_xspec(new_db).to_xml(), url, "sqlite"
+
+
+class TestACL:
+    def test_reader_can_query(self, fed):
+        federation, server = fed
+        client = federation.client("laptop", user="reader", password="readerpw")
+        outcome = federation.query(client, server, "SELECT a FROM t")
+        assert outcome.answer.rows == [(1,)]
+
+    def test_reader_cannot_plugin(self, fed):
+        federation, server = fed
+        client = federation.client("laptop", user="reader", password="readerpw")
+        with pytest.raises(AuthenticationError):
+            client.call(server.server, "dataaccess.plugin", *plugin_args(federation))
+
+    def test_admin_can_plugin(self, fed):
+        federation, server = fed
+        client = federation.client("laptop2", user="operator", password="oppw")
+        added = client.call(server.server, "dataaccess.plugin", *plugin_args(federation))
+        assert added == ["x"]
+
+    def test_grid_default_is_admin(self, fed):
+        federation, server = fed
+        client = federation.client("laptop3")
+        added = client.call(server.server, "dataaccess.plugin", *plugin_args(federation))
+        assert added == ["x"]
+
+    def test_unrestricted_methods_open_to_all_users(self, fed):
+        federation, server = fed
+        client = federation.client("laptop", user="reader", password="readerpw")
+        assert client.call(server.server, "dataaccess.ping") == "pong"
+
+    def test_custom_acl_on_query(self, fed):
+        federation, server = fed
+        server.server.set_acl("dataaccess.query", ("analysts",))
+        client = federation.client("laptop", user="reader", password="readerpw")
+        with pytest.raises(AuthenticationError):
+            federation.query(client, server, "SELECT a FROM t")
+        server.server.add_account("ana", "anapw", groups=("users", "analysts"))
+        ok = federation.client("laptop4", user="ana", password="anapw")
+        assert federation.query(ok, server, "SELECT a FROM t").answer.rows == [(1,)]
+
+    def test_client_identity_defaults(self, fed):
+        federation, server = fed
+        client = federation.client("laptop", user="reader", password="readerpw")
+        session = client.connect(server.server)
+        assert session.user == "reader"

@@ -1,0 +1,27 @@
+"""Smoke tests for the ``python -m repro.demo`` entry point."""
+
+from repro.demo import DEFAULT_QUERIES, build_demo_federation, main, run_query
+
+
+class TestDemo:
+    def test_build_demo_federation(self):
+        fed, server, client = build_demo_federation()
+        assert fed.rls_server.known_tables() == ["calibration", "events", "runs"]
+        assert server.service.tables() == ["events", "runs"]
+
+    def test_default_tour_runs(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "simulated ms" in out
+        assert "plan: federated" in out
+        assert "remote" in out  # the calibration query crosses servers
+
+    def test_custom_query_argument(self, capsys):
+        assert main(["SELECT COUNT(*) AS n FROM events"]) == 0
+        out = capsys.readouterr().out
+        assert "40" in out
+
+    def test_every_default_query_is_valid(self):
+        fed, server, client = build_demo_federation()
+        for sql in DEFAULT_QUERIES:
+            run_query(fed, server, client, sql)

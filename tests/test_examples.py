@@ -1,0 +1,36 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+import importlib
+import sys
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLE_NAMES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.fixture(autouse=True)
+def _examples_on_path():
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    yield
+    sys.path.remove(str(EXAMPLES_DIR))
+
+
+@pytest.mark.parametrize("name", EXAMPLE_NAMES)
+def test_example_runs(name, capsys):
+    module = importlib.import_module(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"example {name} produced no output"
+
+
+def test_expected_examples_present():
+    assert {
+        "quickstart",
+        "hep_analysis",
+        "grid_federation",
+        "schema_evolution",
+        "schema_matching",
+        "operations",
+    } <= set(EXAMPLE_NAMES)

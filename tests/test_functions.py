@@ -1,0 +1,120 @@
+"""Tests for the extended scalar-function and aggregate library."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.common import SQLTypeError
+from repro.engine import Database
+
+
+@pytest.fixture
+def db():
+    d = Database("fn", "generic")
+    d.execute("CREATE TABLE t (id INT PRIMARY KEY, x DOUBLE, s VARCHAR(20))")
+    d.execute(
+        "INSERT INTO t VALUES (1, 4.0, '  pad  '),(2, -2.25, 'Hello'),"
+        "(3, 9.0, 'a,b,c'),(4, NULL, NULL)"
+    )
+    return d
+
+
+def one(db, expr, where="id = 1"):
+    return db.execute(f"SELECT {expr} FROM t WHERE {where}").rows[0][0]
+
+
+class TestMathFunctions:
+    def test_sqrt(self, db):
+        assert one(db, "SQRT(x)") == 2.0
+
+    def test_power(self, db):
+        assert one(db, "POWER(x, 2)") == 16.0
+
+    def test_floor_ceil(self, db):
+        assert one(db, "FLOOR(x)", "id = 2") == -3
+        assert one(db, "CEIL(x)", "id = 2") == -2
+
+    def test_exp_ln_inverse(self, db):
+        assert one(db, "LN(EXP(x))") == pytest.approx(4.0)
+
+    def test_ln_of_nonpositive_is_null(self, db):
+        assert one(db, "LN(x)", "id = 2") is None
+
+    def test_log10(self, db):
+        assert one(db, "LOG10(x)", "id = 3") == pytest.approx(math.log10(9.0))
+
+    def test_mod(self, db):
+        assert one(db, "MOD(x, 3)", "id = 3") == 0.0
+        assert one(db, "MOD(x, 0)", "id = 3") is None
+
+    def test_sign(self, db):
+        assert one(db, "SIGN(x)", "id = 2") == -1
+        assert one(db, "SIGN(x)", "id = 1") == 1
+
+    def test_null_propagates(self, db):
+        for fn in ("SQRT", "FLOOR", "CEIL", "EXP", "SIGN"):
+            assert one(db, f"{fn}(x)", "id = 4") is None
+
+
+class TestStringFunctions:
+    def test_trim_variants(self, db):
+        assert one(db, "TRIM(s)") == "pad"
+        assert one(db, "LTRIM(s)") == "pad  "
+        assert one(db, "RTRIM(s)") == "  pad"
+
+    def test_replace(self, db):
+        assert one(db, "REPLACE(s, ',', ';')", "id = 3") == "a;b;c"
+
+    def test_instr(self, db):
+        assert one(db, "INSTR(s, 'll')", "id = 2") == 3
+        assert one(db, "INSTR(s, 'zz')", "id = 2") == 0
+
+    def test_concat(self, db):
+        assert one(db, "CONCAT(s, '!', id)", "id = 2") == "Hello!2"
+
+    def test_concat_null_is_null(self, db):
+        assert one(db, "CONCAT(s, 'x')", "id = 4") is None
+
+    def test_nullif(self, db):
+        assert one(db, "NULLIF(id, 1)") is None
+        assert one(db, "NULLIF(id, 99)") == 1
+
+    def test_nullif_arity_checked(self, db):
+        with pytest.raises(SQLTypeError):
+            db.execute("SELECT NULLIF(id) FROM t")
+
+
+class TestStatAggregates:
+    def test_stddev_population(self, db):
+        values = [4.0, -2.25, 9.0]
+        expected = float(np.std(values))
+        assert db.execute("SELECT STDDEV(x) FROM t").rows[0][0] == pytest.approx(expected)
+
+    def test_variance_population(self, db):
+        values = [4.0, -2.25, 9.0]
+        expected = float(np.var(values))
+        assert db.execute("SELECT VARIANCE(x) FROM t").rows[0][0] == pytest.approx(expected)
+
+    def test_stddev_ignores_nulls(self, db):
+        # row 4 has NULL x and must not contribute
+        assert db.execute("SELECT COUNT(x), STDDEV(x) FROM t").rows[0][0] == 3
+
+    def test_stddev_empty_group_is_null(self, db):
+        assert db.execute("SELECT STDDEV(x) FROM t WHERE id > 90").rows == [(None,)]
+
+    def test_stddev_per_group(self, db):
+        db.execute("INSERT INTO t VALUES (5, 4.0, 'g'), (6, 6.0, 'g')")
+        r = db.execute(
+            "SELECT s, STDDEV(x) FROM t WHERE s = 'g' GROUP BY s"
+        )
+        assert r.rows[0][1] == pytest.approx(1.0)
+
+    def test_stddev_in_having(self, db):
+        r = db.execute(
+            "SELECT COUNT(*) FROM t WHERE x IS NOT NULL HAVING STDDEV(x) > 0"
+        )
+        assert r.rows == [(3,)]
+
+    def test_variance_of_single_value_is_zero(self, db):
+        assert db.execute("SELECT VARIANCE(x) FROM t WHERE id = 1").rows == [(0.0,)]

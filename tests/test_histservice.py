@@ -1,0 +1,110 @@
+"""Tests for the server-side histogram service."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import JASPlugin, histogram_from_wire, histogram_to_wire
+from repro.analysis.histogram import Histogram1D
+from repro.common import ClarensFault, DeterministicRNG
+from repro.core import GridFederation
+from repro.engine import Database
+
+
+@pytest.fixture
+def fed():
+    federation = GridFederation()
+    server = federation.create_server("jc1", "pc1")
+    db = Database("m", "mysql")
+    db.execute("CREATE TABLE EVT (EVENT_ID INT PRIMARY KEY, E DOUBLE, TAG VARCHAR(4))")
+    rng = DeterministicRNG("hs")
+    rows = [[i, float(v), "t"] for i, v in enumerate(rng.normal(50, 10, 500))]
+    db.bulk_insert("EVT", rows)
+    federation.attach_database(server, db, logical_names={"EVT": "events"})
+    client = federation.client("laptop")
+    return federation, server, client
+
+
+class TestWireCodec:
+    def test_round_trip(self):
+        h = Histogram1D(10, 0.0, 100.0, title="x")
+        h.fill(DeterministicRNG("w").normal(50, 10, 200))
+        back = histogram_from_wire(histogram_to_wire(h))
+        assert np.array_equal(back.counts, h.counts)
+        assert back.mean == pytest.approx(h.mean)
+        assert back.entries == h.entries
+        assert back.title == "x"
+
+
+class TestHistogramService:
+    def test_server_side_histogram(self, fed):
+        federation, server, client = fed
+        wire = client.call(
+            server.server, "histogram.h1d",
+            "SELECT e FROM events", "e", 20, 0.0, 100.0,
+        )
+        hist = histogram_from_wire(wire)
+        assert hist.entries == 500
+        assert hist.nbins == 20
+
+    def test_matches_client_side_histogram(self, fed):
+        federation, server, client = fed
+        jas = JASPlugin(federation, client, server)
+        client_side = jas.histogram_query(
+            "SELECT e FROM events", "e", nbins=20, low=0.0, high=100.0
+        )
+        wire = client.call(
+            server.server, "histogram.h1d",
+            "SELECT e FROM events", "e", 20, 0.0, 100.0,
+        )
+        server_side = histogram_from_wire(wire)
+        assert np.array_equal(server_side.counts, client_side.counts)
+        assert server_side.mean == pytest.approx(client_side.mean)
+
+    def test_ships_bins_not_rows(self, fed):
+        """The whole point: response bytes independent of row count."""
+        federation, server, client = fed
+        before = client.bytes_received
+        client.call(
+            server.server, "histogram.h1d",
+            "SELECT e FROM events", "e", 20, 0.0, 100.0,
+        )
+        hist_bytes = client.bytes_received - before
+        before = client.bytes_received
+        client.call(server.server, "dataaccess.query", "SELECT e FROM events")
+        rows_bytes = client.bytes_received - before
+        assert hist_bytes < rows_bytes / 5
+
+    def test_auto_range(self, fed):
+        federation, server, client = fed
+        wire = client.call(
+            server.server, "histogram.h1d", "SELECT e FROM events", "e"
+        )
+        hist = histogram_from_wire(wire)
+        assert hist.underflow == 0 and hist.overflow == 0
+
+    def test_unknown_column_faults(self, fed):
+        federation, server, client = fed
+        with pytest.raises(ClarensFault):
+            client.call(
+                server.server, "histogram.h1d", "SELECT e FROM events", "ghost"
+            )
+
+    def test_non_numeric_column_faults(self, fed):
+        federation, server, client = fed
+        with pytest.raises(ClarensFault):
+            client.call(
+                server.server, "histogram.h1d",
+                "SELECT tag FROM events", "tag",
+            )
+
+    def test_empty_result_auto_range_faults(self, fed):
+        federation, server, client = fed
+        with pytest.raises(ClarensFault):
+            client.call(
+                server.server, "histogram.h1d",
+                "SELECT e FROM events WHERE e > 1000000", "e",
+            )
+
+    def test_listed_by_introspection(self, fed):
+        federation, server, client = fed
+        assert "histogram.h1d" in client.call(server.server, "system.listMethods")

@@ -1,0 +1,113 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.common import SQLSyntaxError
+from repro.sql import Token, TokenType, tokenize
+
+
+def kinds(sql):
+    return [(t.type, t.value) for t in tokenize(sql)[:-1]]  # drop EOF
+
+
+class TestBasicTokens:
+    def test_keywords_uppercase(self):
+        assert kinds("select from")[0] == (TokenType.KEYWORD, "SELECT")
+        assert kinds("select from")[1] == (TokenType.KEYWORD, "FROM")
+
+    def test_identifiers_preserve_case(self):
+        assert kinds("MyTable")[0] == (TokenType.IDENT, "MyTable")
+
+    def test_integer_and_float_numbers(self):
+        assert kinds("42")[0] == (TokenType.NUMBER, "42")
+        assert kinds("3.14")[0] == (TokenType.NUMBER, "3.14")
+
+    def test_exponent_number(self):
+        assert kinds("1e5")[0] == (TokenType.NUMBER, "1e5")
+        assert kinds("2.5E-3")[0] == (TokenType.NUMBER, "2.5E-3")
+
+    def test_leading_dot_number(self):
+        assert kinds(".5")[0] == (TokenType.NUMBER, ".5")
+
+    def test_string_literal(self):
+        assert kinds("'hello'")[0] == (TokenType.STRING, "hello")
+
+    def test_string_with_escaped_quote(self):
+        assert kinds("'o''brien'")[0] == (TokenType.STRING, "o'brien")
+
+    def test_param_placeholder(self):
+        assert kinds("?")[0] == (TokenType.PARAM, "?")
+
+    def test_eof_token_present(self):
+        assert tokenize("x")[-1].type is TokenType.EOF
+
+
+class TestQuotedIdentifiers:
+    def test_double_quoted(self):
+        assert kinds('"Weird Name"')[0] == (TokenType.IDENT, "Weird Name")
+
+    def test_backtick_quoted(self):
+        assert kinds("`col`")[0] == (TokenType.IDENT, "col")
+
+    def test_bracket_quoted(self):
+        assert kinds("[col]")[0] == (TokenType.IDENT, "col")
+
+    def test_quoted_keyword_stays_identifier(self):
+        assert kinds('"select"')[0] == (TokenType.IDENT, "select")
+
+
+class TestOperators:
+    def test_two_char_operators(self):
+        for op in ("<>", "!=", "<=", ">=", "||"):
+            assert kinds(f"a {op} b")[1] == (TokenType.OPERATOR, op)
+
+    def test_single_char_operators(self):
+        for op in ("=", "<", ">", "+", "-", "*", "/", "%"):
+            assert kinds(f"a {op} b")[1] == (TokenType.OPERATOR, op)
+
+    def test_maximal_munch_lt_gt(self):
+        # '<>' must not lex as '<' then '>'
+        toks = kinds("a<>b")
+        assert toks[1] == (TokenType.OPERATOR, "<>")
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        toks = kinds("SELECT -- comment here\n 1")
+        assert [t[1] for t in toks] == ["SELECT", "1"]
+
+    def test_block_comment_skipped(self):
+        toks = kinds("SELECT /* anything */ 1")
+        assert [t[1] for t in toks] == ["SELECT", "1"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("SELECT /* oops")
+
+
+class TestLexErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError) as exc:
+            tokenize("SELECT 'abc")
+        assert exc.value.position == 7
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize('SELECT "abc')
+
+    def test_unexpected_character(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("SELECT ^")
+
+    def test_position_recorded(self):
+        toks = tokenize("SELECT x")
+        assert toks[0].position == 0
+        assert toks[1].position == 7
+
+
+def test_token_matches_helper():
+    tok = Token(TokenType.KEYWORD, "SELECT", 0)
+    assert tok.matches(TokenType.KEYWORD)
+    assert tok.matches(TokenType.KEYWORD, "SELECT")
+    assert not tok.matches(TokenType.KEYWORD, "FROM")
+    assert not tok.matches(TokenType.IDENT)

@@ -1,0 +1,258 @@
+"""Unit tests for XSpec documents, the data dictionary and the tracker."""
+
+import pytest
+
+from repro.common import TableNotRegisteredError, TypeKind
+from repro.common.errors import XSpecError
+from repro.dialects import get_dialect
+from repro.engine import Database
+from repro.metadata import (
+    DataDictionary,
+    LowerXSpec,
+    SchemaTracker,
+    UpperXSpec,
+    UpperXSpecEntry,
+    generate_lower_xspec,
+)
+
+
+@pytest.fixture
+def source_db():
+    db = Database("tier2_mysql", "mysql")
+    db.execute(
+        "CREATE TABLE EVT (EVENT_ID INT PRIMARY KEY, RUN_ID INT NOT NULL, E DOUBLE)"
+    )
+    db.execute("CREATE TABLE RUNS (RUN_ID INT PRIMARY KEY, DET VARCHAR(16))")
+    db.execute("INSERT INTO RUNS VALUES (1, 'cms')")
+    db.execute("INSERT INTO EVT VALUES (1, 1, 3.5)")
+    return db
+
+
+class TestGenerator:
+    def test_tables_and_columns_captured(self, source_db):
+        spec = generate_lower_xspec(source_db)
+        assert spec.database_name == "tier2_mysql"
+        assert spec.vendor == "mysql"
+        table = spec.table_by_logical("evt")
+        assert [c.name for c in table.columns] == ["EVENT_ID", "RUN_ID", "E"]
+        assert table.columns[0].primary_key
+        assert table.columns[1].not_null
+
+    def test_logical_name_overrides(self, source_db):
+        spec = generate_lower_xspec(source_db, logical_names={"EVT": "events"})
+        assert spec.table_by_logical("events").name == "EVT"
+        assert spec.table_by_logical("evt") is None
+
+    def test_vendor_type_names_used(self, source_db):
+        spec = generate_lower_xspec(source_db)
+        col = spec.table_by_logical("evt").columns[2]
+        assert col.vendor_type == "DOUBLE"
+        assert col.logical_type.kind is TypeKind.DOUBLE
+
+    def test_row_counts_recorded(self, source_db):
+        spec = generate_lower_xspec(source_db)
+        assert spec.table_by_logical("evt").row_count == 1
+
+    def test_views_included_by_default(self, source_db):
+        source_db.execute("CREATE VIEW hot AS SELECT event_id FROM EVT WHERE e > 1")
+        spec = generate_lower_xspec(source_db)
+        assert spec.table_by_logical("hot") is not None
+        spec2 = generate_lower_xspec(source_db, include_views=False)
+        assert spec2.table_by_logical("hot") is None
+
+    def test_fk_relationship_detected_by_convention(self, source_db):
+        spec = generate_lower_xspec(source_db)
+        rels = [(r.table, r.column, r.ref_table) for r in spec.relationships]
+        assert ("EVT", "RUN_ID", "RUNS") in rels
+
+
+class TestXSpecXML:
+    def test_round_trip(self, source_db):
+        spec = generate_lower_xspec(source_db, logical_names={"EVT": "events"})
+        text = spec.to_xml()
+        back = LowerXSpec.from_xml(text)
+        assert back == spec
+
+    def test_canonical_output_is_stable(self, source_db):
+        spec = generate_lower_xspec(source_db)
+        assert spec.to_xml() == generate_lower_xspec(source_db).to_xml()
+
+    def test_fingerprint_ignores_row_counts(self, source_db):
+        before = generate_lower_xspec(source_db).fingerprint()
+        source_db.execute("INSERT INTO EVT VALUES (2, 1, 9.1)")
+        after = generate_lower_xspec(source_db).fingerprint()
+        assert before == after
+
+    def test_fingerprint_sees_schema_change(self, source_db):
+        before = generate_lower_xspec(source_db).fingerprint()
+        source_db.execute("ALTER TABLE EVT ADD COLUMN px DOUBLE")
+        after = generate_lower_xspec(source_db).fingerprint()
+        assert before != after
+
+    def test_malformed_xml_raises(self):
+        with pytest.raises(XSpecError):
+            LowerXSpec.from_xml("<xspec database='x' vendor='y'><bogus/></xspec>")
+        with pytest.raises(XSpecError):
+            LowerXSpec.from_xml("not xml at all")
+        with pytest.raises(XSpecError):
+            LowerXSpec.from_xml("<wrongroot/>")
+
+    def test_table_without_columns_rejected(self):
+        with pytest.raises(XSpecError):
+            LowerXSpec.from_xml(
+                "<xspec database='d' vendor='mysql'><table name='t' logical='t'/></xspec>"
+            )
+
+    def test_single_table_spec_slice(self, source_db):
+        spec = generate_lower_xspec(source_db)
+        one = spec.single_table_spec("evt")
+        assert len(one.tables) == 1
+        with pytest.raises(XSpecError):
+            spec.single_table_spec("zzz")
+
+
+class TestUpperXSpec:
+    def make(self):
+        return UpperXSpec(
+            (
+                UpperXSpecEntry("mart1", "jdbc:mysql://h:3306/m1", "mysql", "m1.xspec"),
+                UpperXSpecEntry("mart2", "jdbc:sqlite:/h/m2.db", "sqlite", "m2.xspec"),
+            )
+        )
+
+    def test_round_trip(self):
+        upper = self.make()
+        assert UpperXSpec.from_xml(upper.to_xml()) == UpperXSpec(
+            tuple(sorted(upper.entries, key=lambda e: e.name))
+        )
+
+    def test_entry_lookup(self):
+        assert self.make().entry("MART1").driver == "mysql"
+        assert self.make().entry("nope") is None
+
+    def test_with_entry_replaces(self):
+        upper = self.make().with_entry(
+            UpperXSpecEntry("mart1", "jdbc:mysql://h2:3306/m1", "mysql", "m1.xspec")
+        )
+        assert len(upper.entries) == 2
+        assert upper.entry("mart1").url == "jdbc:mysql://h2:3306/m1"
+
+    def test_without_entry(self):
+        assert self.make().without_entry("mart2").database_names() == ["mart1"]
+
+    def test_missing_attribute_rejected(self):
+        with pytest.raises(XSpecError):
+            UpperXSpec.from_xml("<upperxspec><database name='x'/></upperxspec>")
+
+
+class TestDataDictionary:
+    @pytest.fixture
+    def dictionary(self, source_db):
+        spec = generate_lower_xspec(source_db, logical_names={"EVT": "events"})
+        d = DataDictionary()
+        d.add_database(spec, "jdbc:mysql://h:3306/tier2_mysql")
+        return d
+
+    def test_locate_by_logical_name(self, dictionary):
+        loc = dictionary.locate("events")
+        assert loc.physical_name == "EVT"
+        assert loc.vendor == "mysql"
+
+    def test_physical_column_mapping(self, dictionary):
+        loc = dictionary.locate("events")
+        assert loc.physical_column("event_id") == "EVENT_ID"
+        with pytest.raises(XSpecError):
+            loc.physical_column("ghost")
+
+    def test_unregistered_table_raises(self, dictionary):
+        with pytest.raises(TableNotRegisteredError):
+            dictionary.locate("nothing")
+
+    def test_replicas_accumulate(self, dictionary, source_db):
+        spec2 = generate_lower_xspec(source_db, logical_names={"EVT": "events"})
+        spec2 = LowerXSpec(
+            database_name="replica",
+            vendor=spec2.vendor,
+            tables=spec2.tables,
+            relationships=spec2.relationships,
+        )
+        dictionary.add_database(spec2, "jdbc:mysql://h2:3306/replica")
+        assert len(dictionary.locations("events")) == 2
+
+    def test_remove_database(self, dictionary):
+        dictionary.remove_database("tier2_mysql")
+        assert not dictionary.has_table("events")
+        assert dictionary.databases() == []
+
+    def test_build_from_upper(self, source_db):
+        spec = generate_lower_xspec(source_db)
+        upper = UpperXSpec(
+            (
+                UpperXSpecEntry(
+                    "tier2_mysql", "jdbc:mysql://h:3306/t2", "mysql", "t2.xspec"
+                ),
+            )
+        )
+        d = DataDictionary.build(upper, {"t2.xspec": spec})
+        assert d.has_table("evt")
+
+    def test_build_missing_lower_raises(self):
+        upper = UpperXSpec(
+            (UpperXSpecEntry("x", "jdbc:mysql://h:3306/x", "mysql", "x.xspec"),)
+        )
+        with pytest.raises(XSpecError):
+            DataDictionary.build(upper, {})
+
+
+class TestSchemaTracker:
+    def test_no_change_no_notification(self, source_db):
+        tracker = SchemaTracker()
+        tracker.watch(source_db)
+        events = []
+        tracker.subscribe(lambda name, spec: events.append(name))
+        assert tracker.poll() == []
+        assert events == []
+
+    def test_data_growth_is_not_a_schema_change(self, source_db):
+        tracker = SchemaTracker()
+        tracker.watch(source_db)
+        source_db.execute("INSERT INTO EVT VALUES (5, 1, 2.2)")
+        assert tracker.poll() == []
+
+    def test_add_column_detected(self, source_db):
+        tracker = SchemaTracker()
+        tracker.watch(source_db)
+        events = []
+        tracker.subscribe(lambda name, spec: events.append((name, spec)))
+        source_db.execute("ALTER TABLE EVT ADD COLUMN eta DOUBLE")
+        assert tracker.poll() == ["tier2_mysql"]
+        assert events[0][0] == "tier2_mysql"
+        new_spec = events[0][1]
+        assert new_spec.table_by_logical("evt").column_by_logical("eta") is not None
+
+    def test_new_table_detected(self, source_db):
+        tracker = SchemaTracker()
+        tracker.watch(source_db)
+        source_db.execute("CREATE TABLE extra (x INT)")
+        assert tracker.poll() == ["tier2_mysql"]
+
+    def test_change_reported_once(self, source_db):
+        tracker = SchemaTracker()
+        tracker.watch(source_db)
+        source_db.execute("CREATE TABLE extra (x INT)")
+        assert tracker.poll() == ["tier2_mysql"]
+        assert tracker.poll() == []
+        assert tracker.changes_detected == 1
+
+    def test_logical_names_survive_refresh(self, source_db):
+        tracker = SchemaTracker()
+        tracker.watch(source_db, logical_names={"EVT": "events"})
+        source_db.execute("CREATE TABLE extra (x INT)")
+        tracker.poll()
+        assert tracker.current_spec("tier2_mysql").table_by_logical("events") is not None
+
+    def test_unwatch(self, source_db):
+        tracker = SchemaTracker()
+        tracker.watch(source_db)
+        tracker.unwatch("tier2_mysql")
+        assert tracker.watched() == []

@@ -1,0 +1,59 @@
+"""Tests for the periodic (virtual-time) schema polling of §4.9."""
+
+import pytest
+
+from repro.core import GridFederation
+from repro.engine import Database
+
+
+@pytest.fixture
+def polled_fed():
+    fed = GridFederation()
+    server = fed.create_server("jc1", "pc1", schema_poll_interval_ms=10_000.0)
+    db = Database("mart", "mysql")
+    db.execute("CREATE TABLE T (A INT PRIMARY KEY)")
+    db.execute("INSERT INTO T VALUES (1)")
+    fed.attach_database(server, db, logical_names={"T": "t"})
+    return fed, server, db
+
+
+class TestSchemaPolling:
+    def test_poll_fires_after_interval(self, polled_fed):
+        fed, server, db = polled_fed
+        db.execute("CREATE TABLE EXTRA (K INT PRIMARY KEY)")
+        db.execute("INSERT INTO EXTRA VALUES (7)")
+        fed.clock.advance_ms(20_000)
+        # next query triggers the lazy poll, which registers the table
+        answer = server.service.execute("SELECT k FROM extra")
+        assert answer.rows == [(7,)]
+
+    def test_no_poll_before_interval(self, polled_fed):
+        fed, server, db = polled_fed
+        # the first query at t~0 consumes the initial poll window
+        server.service.execute("SELECT a FROM t")
+        polls_before = server.service.tracker.polls
+        db.execute("CREATE TABLE EXTRA (K INT PRIMARY KEY)")
+        fed.clock.advance_ms(1_000)  # < interval
+        with pytest.raises(Exception):
+            server.service.execute("SELECT k FROM extra", no_forward=True)
+        assert server.service.tracker.polls == polls_before
+
+    def test_polls_counted_once_per_window(self, polled_fed):
+        fed, server, _ = polled_fed
+        server.service.execute("SELECT a FROM t")  # consumes window at t=0
+        base = server.service.tracker.polls
+        for _ in range(5):
+            server.service.execute("SELECT a FROM t")
+        assert server.service.tracker.polls == base  # clock barely moved
+
+    def test_disabled_by_default(self):
+        fed = GridFederation()
+        server = fed.create_server("jc1", "pc1")
+        assert server.service.schema_poll_interval_ms is None
+        db = Database("mart", "mysql")
+        db.execute("CREATE TABLE T (A INT)")
+        fed.attach_database(server, db)
+        before = server.service.tracker.polls
+        fed.clock.advance_ms(10**9)
+        server.service.execute("SELECT a FROM t")
+        assert server.service.tracker.polls == before

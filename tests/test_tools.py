@@ -1,0 +1,132 @@
+"""Tests for the benchreport aggregation tool."""
+
+import pathlib
+
+import pytest
+
+from repro.tools.benchreport import collect, main, render_markdown
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    d = tmp_path / "results"
+    d.mkdir()
+    (d / "fig4_etl_warehouse.txt").write_text(
+        "Figure 4 — X\n============\nrow1\nrow2\n"
+    )
+    (d / "zzz_custom.txt").write_text("Custom\n======\npayload\n")
+    (d / "table1_query_response.txt").write_text(
+        "Table 1 — Y\n===========\ndata\n"
+    )
+    return d
+
+
+class TestCollect:
+    def test_preferred_order_first(self, results_dir):
+        names = [n for n, _ in collect(results_dir)]
+        assert names == ["table1_query_response", "fig4_etl_warehouse", "zzz_custom"]
+
+    def test_missing_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            collect(tmp_path / "nope")
+
+
+class TestRender:
+    def test_sections_become_headings(self, results_dir):
+        text = render_markdown(collect(results_dir))
+        assert "## Table 1 — Y" in text
+        assert "## Figure 4 — X" in text
+        assert "payload" in text
+
+    def test_code_blocks_balanced(self, results_dir):
+        text = render_markdown(collect(results_dir))
+        assert text.count("```") % 2 == 0
+
+
+class TestMain:
+    def test_writes_output_file(self, results_dir, tmp_path, capsys):
+        out = tmp_path / "R.md"
+        assert main([str(results_dir), "-o", str(out)]) == 0
+        assert out.exists()
+        assert "3 experiments" in capsys.readouterr().out
+
+    def test_stdout_mode(self, results_dir, capsys):
+        assert main([str(results_dir)]) == 0
+        assert "# Benchmark results" in capsys.readouterr().out
+
+    def test_empty_dir_errors(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main([str(empty)]) == 1
+
+    def test_real_results_if_present(self):
+        real = pathlib.Path("benchmarks/results")
+        if not real.is_dir() or not list(real.glob("*.txt")):
+            pytest.skip("benchmarks not yet run")
+        sections = collect(real)
+        assert any(n == "table1_query_response" for n, _ in sections)
+
+
+class TestTopologyReport:
+    def test_describes_full_deployment(self):
+        from repro.core import GridFederation
+        from repro.engine import Database
+        from repro.net.network import WAN
+        from repro.tools.topology import describe_federation
+
+        fed = GridFederation()
+        s1 = fed.create_server("jc1", "pc1", jdbc_pooling=True)
+        s2 = fed.create_server("jc2", "pc2", replica_selection=True)
+        db = Database("mart1", "mysql")
+        db.execute("CREATE TABLE T (A INT)")
+        fed.attach_database(s1, db, logical_names={"T": "events"})
+        mart2 = Database("mart2", "mssql")
+        mart2.execute("CREATE TABLE R (B INT)")
+        fed.attach_database(s2, mart2, db_host="pc2b")
+        fed.network.set_link("pc1", "pc2", WAN)
+
+        text = describe_federation(fed)
+        assert "jc1 @ pc1 (pooled-jdbc" in text
+        assert "replica policy: proximity" in text
+        assert "mart1 [mysql/POOL-RAL/local]" in text
+        assert "mart2 [mssql/JDBC/local]" in text
+        assert "events: clarens://pc1/jc1" in text
+        assert "pc1 <-> pc2: 10 Mbps, 45 ms" in text
+        assert "virtual time" in text
+
+    def test_marks_failed_hosts(self):
+        from repro.core import GridFederation
+        from repro.tools.topology import describe_federation
+
+        fed = GridFederation()
+        fed.create_server("jc1", "pc1")
+        fed.network.fail_host("pc1")
+        assert "[DOWN]" in describe_federation(fed)
+
+    def test_long_table_list_truncated(self):
+        from repro.core import GridFederation
+        from repro.engine import Database
+        from repro.tools.topology import describe_federation
+
+        fed = GridFederation()
+        s1 = fed.create_server("jc1", "pc1")
+        db = Database("many", "mysql")
+        for i in range(9):
+            db.execute(f"CREATE TABLE T{i} (A INT)")
+        fed.attach_database(s1, db)
+        assert "+3" in describe_federation(fed)
+
+
+class TestValidateTool:
+    def test_all_checks_pass(self, capsys):
+        from repro.tools.validate import main as validate_main
+
+        assert validate_main([]) == 0
+        out = capsys.readouterr().out
+        assert "all 6 checks passed" in out
+
+    def test_check_registry_populated(self):
+        from repro.tools.validate import CHECKS
+
+        names = [n for n, _ in CHECKS]
+        assert len(names) == len(set(names)) == 6

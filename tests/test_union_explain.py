@@ -1,0 +1,212 @@
+"""Tests for UNION execution and EXPLAIN (engine + federated)."""
+
+import pytest
+
+from repro.common import PlanningError, SQLSyntaxError, TypeKind
+from repro.engine import Database
+from repro.sql import ast, parse_statement
+
+
+@pytest.fixture
+def db():
+    d = Database("u", "mysql")
+    d.execute("CREATE TABLE a (x INT, label VARCHAR(10))")
+    d.execute("CREATE TABLE b (x INT, label VARCHAR(10))")
+    d.execute("INSERT INTO a VALUES (1,'one'),(2,'two'),(3,'three')")
+    d.execute("INSERT INTO b VALUES (3,'three'),(4,'four')")
+    return d
+
+
+class TestUnionParsing:
+    def test_union_parses(self):
+        stmt = parse_statement("SELECT x FROM a UNION SELECT x FROM b")
+        assert isinstance(stmt, ast.Union)
+        assert not stmt.all
+        assert len(stmt.selects) == 2
+
+    def test_union_all_parses(self):
+        stmt = parse_statement("SELECT x FROM a UNION ALL SELECT x FROM b")
+        assert stmt.all
+
+    def test_three_branch_chain(self):
+        stmt = parse_statement(
+            "SELECT x FROM a UNION SELECT x FROM b UNION SELECT x FROM a"
+        )
+        assert len(stmt.selects) == 3
+
+    def test_trailing_order_limit_lifted_to_union(self):
+        stmt = parse_statement(
+            "SELECT x FROM a UNION SELECT x FROM b ORDER BY x DESC LIMIT 2"
+        )
+        assert stmt.limit == 2
+        assert stmt.order_by[0].ascending is False
+        assert stmt.selects[-1].limit is None
+        assert stmt.selects[-1].order_by == ()
+
+    def test_mixed_union_and_union_all_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement(
+                "SELECT x FROM a UNION SELECT x FROM b UNION ALL SELECT x FROM a"
+            )
+
+    def test_union_unparse_round_trip(self):
+        text = "SELECT x FROM a UNION ALL SELECT x FROM b ORDER BY x ASC LIMIT 3"
+        stmt = parse_statement(text)
+        assert parse_statement(stmt.unparse()).unparse() == stmt.unparse()
+
+
+class TestUnionExecution:
+    def test_union_deduplicates(self, db):
+        r = db.execute("SELECT x FROM a UNION SELECT x FROM b ORDER BY x")
+        assert r.rows == [(1,), (2,), (3,), (4,)]
+
+    def test_union_all_keeps_duplicates(self, db):
+        r = db.execute("SELECT x FROM a UNION ALL SELECT x FROM b ORDER BY x")
+        assert r.rows == [(1,), (2,), (3,), (3,), (4,)]
+
+    def test_columns_named_from_first_branch(self, db):
+        r = db.execute("SELECT x AS id FROM a UNION SELECT x FROM b")
+        assert r.columns == ["id"]
+
+    def test_types_widen_across_branches(self, db):
+        db.execute("CREATE TABLE c (x DOUBLE)")
+        db.execute("INSERT INTO c VALUES (9.5)")
+        r = db.execute("SELECT x FROM a UNION SELECT x FROM c")
+        assert r.types[0].kind is TypeKind.DOUBLE
+
+    def test_arity_mismatch_rejected(self, db):
+        with pytest.raises(PlanningError):
+            db.execute("SELECT x FROM a UNION SELECT x, label FROM b")
+
+    def test_order_by_output_column(self, db):
+        r = db.execute(
+            "SELECT x, label FROM a UNION ALL SELECT x, label FROM b "
+            "ORDER BY label"
+        )
+        assert r.rows[0][1] == "four"
+
+    def test_order_by_unknown_column_rejected(self, db):
+        with pytest.raises(PlanningError):
+            db.execute("SELECT x FROM a UNION SELECT x FROM b ORDER BY nosuch")
+
+    def test_limit_offset_apply_to_whole_union(self, db):
+        r = db.execute(
+            "SELECT x FROM a UNION SELECT x FROM b ORDER BY x LIMIT 2 OFFSET 1"
+        )
+        assert r.rows == [(2,), (3,)]
+
+    def test_union_with_where_and_aggregate_branches(self, db):
+        r = db.execute(
+            "SELECT COUNT(*) FROM a WHERE x > 1 UNION ALL SELECT COUNT(*) FROM b"
+        )
+        assert sorted(r.rows) == [(2,), (2,)]
+
+    def test_stats_accumulate(self, db):
+        r = db.execute("SELECT x FROM a UNION SELECT x FROM b")
+        assert set(r.stats.tables_accessed) == {"a", "b"}
+
+
+class TestEngineExplain:
+    def test_scan_and_filter(self, db):
+        lines = db.explain("SELECT x FROM a WHERE x > 1 ORDER BY x LIMIT 2")
+        text = "\n".join(lines)
+        assert "scan a (3 rows)" in text
+        assert "filter: (x > 1)" in text
+        assert "sort: x ASC" in text
+        assert "limit 2" in text
+
+    def test_hash_join_detected(self, db):
+        lines = db.explain("SELECT * FROM a JOIN b ON a.x = b.x")
+        assert any("hash join" in line for line in lines)
+
+    def test_nested_loop_detected(self, db):
+        lines = db.explain("SELECT * FROM a JOIN b ON a.x > b.x")
+        assert any("nested-loop" in line for line in lines)
+
+    def test_residual_conjunct_reported(self, db):
+        lines = db.explain(
+            "SELECT * FROM a JOIN b ON a.x = b.x AND a.x > 1"
+        )
+        assert any("residual" in line for line in lines)
+
+    def test_aggregate_reported(self, db):
+        lines = db.explain("SELECT label, COUNT(*) FROM a GROUP BY label")
+        assert any("aggregate" in line and "COUNT(*)" in line for line in lines)
+
+    def test_union_explain(self, db):
+        lines = db.explain("SELECT x FROM a UNION SELECT x FROM b LIMIT 2")
+        assert lines[0].startswith("union of 2 branches")
+        assert any("limit 2" in line for line in lines)
+
+    def test_ddl_explain_trivial(self, db):
+        lines = db.explain("DROP TABLE IF EXISTS a")
+        assert lines[0].startswith("droptable")
+
+    def test_view_size_label(self, db):
+        db.execute("CREATE VIEW v AS SELECT x FROM a")
+        lines = db.explain("SELECT * FROM v")
+        assert "scan v (view)" in lines[0]
+
+
+class TestFederatedExplain:
+    @pytest.fixture
+    def fed(self):
+        from repro.core import GridFederation
+
+        federation = GridFederation()
+        s1 = federation.create_server("jc1", "pc1")
+        s2 = federation.create_server("jc2", "pc2")
+        mysql = Database("m1", "mysql")
+        mysql.execute("CREATE TABLE EVT (EVENT_ID INT PRIMARY KEY, RUN_ID INT)")
+        mysql.execute("INSERT INTO EVT VALUES (1, 0)")
+        federation.attach_database(s1, mysql, logical_names={"EVT": "events"})
+        mssql = Database("m2", "mssql")
+        mssql.execute("CREATE TABLE RUNS (RUN_ID INT PRIMARY KEY)")
+        mssql.execute("INSERT INTO RUNS VALUES (0)")
+        federation.attach_database(s1, mssql, logical_names={"RUNS": "runs"})
+        sqlite = Database("m3", "sqlite")
+        sqlite.execute("CREATE TABLE calib (run_id INTEGER PRIMARY KEY)")
+        sqlite.execute("INSERT INTO calib VALUES (0)")
+        federation.attach_database(s2, sqlite)
+        return federation, s1, s2
+
+    def test_single_plan_explained(self, fed):
+        federation, s1, _ = fed
+        info = s1.service.explain("SELECT event_id FROM events")
+        assert info["kind"] == "single"
+        assert not info["distributed"]
+        assert info["integration"] is None
+        assert info["subqueries"][0]["route"] == "pool"
+
+    def test_routes_predicted(self, fed):
+        federation, s1, _ = fed
+        info = s1.service.explain(
+            "SELECT e.event_id FROM events e JOIN runs r ON e.run_id = r.run_id "
+            "WHERE e.event_id > 0"
+        )
+        routes = {s["binding"]: s["route"] for s in info["subqueries"]}
+        assert routes == {"e": "pool", "r": "jdbc"}
+        assert info["integration"] is not None
+
+    def test_pushed_predicates_listed(self, fed):
+        federation, s1, _ = fed
+        info = s1.service.explain(
+            "SELECT e.event_id FROM events e JOIN runs r ON e.run_id = r.run_id "
+            "WHERE e.event_id > 5"
+        )
+        by_binding = {s["binding"]: s for s in info["subqueries"]}
+        assert by_binding["e"]["pushed_predicates"] == ["(e.event_id > 5)"]
+
+    def test_remote_route_predicted(self, fed):
+        federation, s1, _ = fed
+        info = s1.service.explain(
+            "SELECT e.event_id FROM events e JOIN calib c ON e.run_id = c.run_id"
+        )
+        routes = {s["binding"]: s["route"] for s in info["subqueries"]}
+        assert routes["c"] == "remote"
+
+    def test_explain_over_the_wire(self, fed):
+        federation, s1, _ = fed
+        client = federation.client("laptop")
+        info = client.call(s1.server, "dataaccess.explain", "SELECT event_id FROM events")
+        assert info["kind"] == "single"
