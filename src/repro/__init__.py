@@ -21,11 +21,13 @@ Quickstart::
 
 from repro.analysis import Histogram1D, Histogram2D, JASPlugin
 from repro.common import DeterministicRNG, ReproError, SQLType, TypeKind
+from repro.common.errors import PreflightError
 from repro.core import DataAccessService, GridFederation, QueryAnswer, ServerHandle
 from repro.dialects import Dialect, available_vendors, get_dialect
 from repro.driver import Directory, connect
 from repro.engine import Database
 from repro.hep import Ntuple, generate_ntuple
+from repro.lint import Diagnostic, LintReport, Severity, lint_select, sqlcheck
 from repro.marts import MartSet, materialize_view
 from repro.metadata import (
     DataDictionary,
@@ -47,6 +49,7 @@ __all__ = [
     "DataDictionary",
     "Database",
     "DeterministicRNG",
+    "Diagnostic",
     "Dialect",
     "Directory",
     "ETLJob",
@@ -55,12 +58,14 @@ __all__ = [
     "Histogram1D",
     "Histogram2D",
     "JASPlugin",
+    "LintReport",
     "LowerXSpec",
     "MartSet",
     "Network",
     "Ntuple",
     "PoolRAL",
     "PoolRALWrapper",
+    "PreflightError",
     "QueryAnswer",
     "RLSClient",
     "RLSServer",
@@ -68,6 +73,7 @@ __all__ = [
     "SQLType",
     "SchemaTracker",
     "ServerHandle",
+    "Severity",
     "SimClock",
     "TypeKind",
     "UnityDriver",
@@ -78,6 +84,8 @@ __all__ = [
     "generate_lower_xspec",
     "generate_ntuple",
     "get_dialect",
+    "lint_select",
     "materialize_view",
+    "sqlcheck",
     "__version__",
 ]

@@ -15,6 +15,7 @@ from repro.common.errors import (
     ETLError,
     FederationError,
     PlanningError,
+    PreflightError,
     ReproError,
     RLSLookupError,
     SQLSyntaxError,
@@ -47,6 +48,7 @@ __all__ = [
     "ETLError",
     "FederationError",
     "PlanningError",
+    "PreflightError",
     "ReproError",
     "RLSLookupError",
     "SQLSyntaxError",

@@ -78,6 +78,7 @@ class GridFederation:
         replica_selection: bool = False,
         schema_poll_interval_ms: float | None = None,
         jdbc_pooling: bool = False,
+        preflight: bool = False,
     ) -> ServerHandle:
         """Start a JClarens server with a data access service on ``host``."""
         self.add_host(host, tier)
@@ -92,6 +93,7 @@ class GridFederation:
             replica_selection=replica_selection,
             schema_poll_interval_ms=schema_poll_interval_ms,
             jdbc_pooling=jdbc_pooling,
+            preflight=preflight,
         )
         server.register_service(service)
         # server-side histogramming rides alongside the data access service

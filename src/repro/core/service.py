@@ -72,7 +72,10 @@ class DataAccessService(ClarensService):
     """The Clarens-hosted data access layer of one JClarens instance."""
 
     service_name = "dataaccess"
-    exposed = ("query", "describe", "tables", "ping", "plugin", "explain", "stats")
+    exposed = (
+        "query", "describe", "tables", "ping", "plugin", "explain", "stats",
+        "lint",
+    )
 
     def __init__(
         self,
@@ -84,7 +87,9 @@ class DataAccessService(ClarensService):
         replica_selection: bool = False,
         schema_poll_interval_ms: float | None = None,
         jdbc_pooling: bool = False,
+        preflight: bool = False,
     ):
+        self.preflight = preflight
         self.server_ = server  # 'server' attr is set by register_service too
         self.directory = directory
         self.rls = rls_client
@@ -187,12 +192,34 @@ class DataAccessService(ClarensService):
     # query execution
     # ------------------------------------------------------------------
 
+    def _run_preflight(self, select: ast.Select) -> bool:
+        """Static pre-flight lint: reject before any sub-query ships.
+
+        Returns True when the check ran. A query touching a table this
+        server does not yet know is deferred (returns False) — the
+        caller re-runs the check once RLS discovery has registered the
+        remote tables, still before any sub-query data moves.
+        """
+        if any(
+            not self.dictionary.has_table(ref.name)
+            for ref in select.referenced_tables()
+        ):
+            return False
+        from repro.common.errors import PreflightError
+        from repro.lint import DictionarySchema, lint_select
+
+        report = lint_select(select, DictionarySchema(self.dictionary))
+        if not report.ok:
+            raise PreflightError(report.errors)
+        return True
+
     def execute(
         self, sql: str | ast.Select, params: tuple = (), no_forward: bool = False
     ) -> QueryAnswer:
         """Execute a logical-name query; the local (non-RPC) entry point."""
         self._maybe_poll_schemas()
         select = parse_select(sql) if isinstance(sql, str) else sql
+        preflighted = self._run_preflight(select) if self.preflight else True
         if self.clock is not None:
             self.clock.advance_ms(costs.DECOMPOSE_MS)
 
@@ -206,6 +233,10 @@ class DataAccessService(ClarensService):
                 loc = self.dictionary.locate(ref.name)
                 if loc.is_remote:
                     remote_servers.add(loc.remote_server)
+        if not preflighted:
+            # discovery has registered the remote tables; check now,
+            # before any sub-query ships
+            self._run_preflight(select)
 
         prefer = None
         if self.replica_selector is not None:
@@ -500,6 +531,17 @@ class DataAccessService(ClarensService):
                 plan.integration.unparse() if plan.integration is not None else None
             ),
         }
+
+    def lint(self, sql: str):
+        """Clarens method: static diagnostics for ``sql``, not executed.
+
+        Lets clients validate a query against this server's dictionary
+        for free before paying for a distributed execution.
+        """
+        from repro.lint import DictionarySchema, lint_sql
+
+        report = lint_sql(sql, DictionarySchema(self.dictionary))
+        return [d.as_dict() for d in report]
 
     def plugin(self, spec_xml: str, url: str, driver: str):
         """Clarens method: plug in a database at runtime (§4.10).

@@ -63,6 +63,13 @@ class Dialect:
         per_statement_ms=1.0,
         commit_ms=5.0,
     )
+    #: Engine function names this vendor (in its paper-era release)
+    #: cannot evaluate; the lint pass flags them before a sub-query ships.
+    unsupported_functions: frozenset[str] = frozenset()
+
+    def supports_function(self, name: str) -> bool:
+        """Whether the vendor can evaluate the (engine-known) function."""
+        return name.upper() not in self.unsupported_functions
 
     # -- identifiers -------------------------------------------------------------
 

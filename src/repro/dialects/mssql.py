@@ -31,6 +31,12 @@ class MSSQLDialect(Dialect):
         per_statement_ms=1.2,
         commit_ms=8.0,
     )
+    # T-SQL (SQL Server 2000) spellings differ: LEN, CHARINDEX, CEILING,
+    # LOG, SUBSTRING, '+' concatenation, STDEV/VAR, '%' for modulo.
+    unsupported_functions = frozenset(
+        {"CONCAT", "SUBSTR", "INSTR", "LN", "LENGTH", "TRIM", "MOD",
+         "STDDEV", "VARIANCE", "CEIL"}
+    )
 
     _TYPE_NAMES = {
         TypeKind.INTEGER: "INT",

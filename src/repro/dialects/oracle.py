@@ -31,6 +31,8 @@ class OracleDialect(Dialect):
         per_statement_ms=1.6,
         commit_ms=9.0,
     )
+    # Oracle 9i/10g spells log10 as LOG(10, x); plain LOG10 is rejected.
+    unsupported_functions = frozenset({"LOG10"})
 
     _TYPE_NAMES = {
         TypeKind.INTEGER: "NUMBER(10,0)",

@@ -29,6 +29,11 @@ class SQLiteDialect(Dialect):
         per_statement_ms=0.5,
         commit_ms=12.0,  # fsync-per-commit dominates
     )
+    # SQLite of the era has no math extension and no aggregate moments.
+    unsupported_functions = frozenset(
+        {"SQRT", "POWER", "EXP", "LN", "LOG10", "FLOOR", "CEIL", "SIGN",
+         "MOD", "STDDEV", "VARIANCE", "CONCAT", "INSTR"}
+    )
 
     _TYPE_NAMES = {
         TypeKind.INTEGER: "INTEGER",

@@ -363,10 +363,20 @@ class Database:
     # -- introspection -------------------------------------------------------------------
 
     def explain(self, sql: str) -> list[str]:
-        """Plan outline for ``sql`` without executing it."""
+        """Plan outline for ``sql`` without executing it, with any static
+        lint findings appended as ``lint:`` lines."""
         from repro.engine.explain import explain_statement
 
-        return explain_statement(self, sql)
+        lines = explain_statement(self, sql)
+        from repro.common.errors import ReproError
+        from repro.lint import CatalogSchema, lint_sql
+
+        try:
+            report = lint_sql(sql, CatalogSchema(self))
+        except ReproError:
+            return lines
+        lines.extend(f"lint: {d}" for d in report)
+        return lines
 
     # -- bulk API used by ETL/materialization ------------------------------------------
 

@@ -22,7 +22,6 @@ from repro.common.errors import (
     ColumnNotFoundError,
     PlanningError,
     SQLTypeError,
-    TableNotFoundError,
 )
 from repro.common.types import SQLType, infer_literal_type
 from repro.sql import ast
@@ -134,8 +133,10 @@ class SelectExecutor:
     def execute(self, select: ast.Select) -> QueryResult:
         """Run the SELECT through scan/join/filter/aggregate/sort/limit."""
         if not select.from_:
+            self._typecheck(select, RowSchema([]))
             return self._execute_scalar(select)
         schema, rows = self._execute_from(select)
+        self._typecheck(select, schema)
         if select.where is not None:
             predicate = self._compile(select.where, schema)
             self.stats.rows_examined += len(rows)
@@ -157,6 +158,18 @@ class SelectExecutor:
         result.stats = self.stats
         self.stats.rows_returned = len(result.rows)
         return result
+
+    def _typecheck(self, select: ast.Select, schema: RowSchema) -> None:
+        """Static type check before any row is evaluated.
+
+        Closes the lazy-evaluation hole where a type-mismatched
+        expression (``SELECT a + 'x' FROM t``) silently returned an
+        empty result on an empty table instead of an error.
+        """
+        from repro.lint.analyzer import typecheck_select
+
+        for diag in typecheck_select(select, schema):
+            raise SQLTypeError(diag.message)
 
     # -- FROM / joins ------------------------------------------------------------
 

@@ -1,0 +1,117 @@
+"""Structured lint diagnostics.
+
+A :class:`Diagnostic` is one finding of the static analyzer: a stable
+code (``RPR101`` unknown-table, ``RPR201`` type-mismatch, ...), a
+severity, a human message and a best-effort source span. Codes are part
+of the public contract — tools and tests match on them, so they never
+change meaning between releases (new codes may be added).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; ordering is by seriousness."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        """Lower-case name as printed in reports (``error``, ...)."""
+        return self.name.lower()
+
+    @staticmethod
+    def from_name(text: str) -> "Severity":
+        """Parse ``error``/``warning``/``info`` (case-insensitive)."""
+        try:
+            return Severity[text.strip().upper()]
+        except KeyError:
+            raise ValueError(f"unknown severity {text!r}") from None
+
+
+@dataclass(frozen=True)
+class Span:
+    """Where a diagnostic points: the offending fragment and, when the
+    original SQL text is available, its character offsets there."""
+
+    fragment: str
+    start: int | None = None
+    end: int | None = None
+
+    def __str__(self) -> str:
+        if self.start is not None:
+            return f"{self.fragment!r} at offset {self.start}"
+        return repr(self.fragment)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: stable code + severity + message + span."""
+
+    code: str
+    severity: Severity
+    message: str
+    span: Span | None = None
+
+    def __str__(self) -> str:
+        text = f"{self.code} {self.severity.label}: {self.message}"
+        if self.span is not None:
+            text += f" [{self.span}]"
+        return text
+
+    def as_dict(self) -> dict:
+        """Wire-safe representation (Clarens methods return these)."""
+        return {
+            "code": self.code,
+            "severity": self.severity.label,
+            "message": self.message,
+            "span": None if self.span is None else {
+                "fragment": self.span.fragment,
+                "start": self.span.start,
+                "end": self.span.end,
+            },
+        }
+
+
+class LintReport:
+    """An ordered collection of diagnostics for one statement."""
+
+    def __init__(self, diagnostics: list[Diagnostic] | None = None):
+        self.diagnostics: list[Diagnostic] = list(diagnostics or [])
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        """Diagnostics at ERROR severity (what pre-flight rejects on)."""
+        return [d for d in self.diagnostics if d.severity >= Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        """Diagnostics at WARNING severity."""
+        return [d for d in self.diagnostics if d.severity == Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no ERROR-severity diagnostic was produced."""
+        return not self.errors
+
+    def codes(self) -> set[str]:
+        """The set of codes present (convenient in tests)."""
+        return {d.code for d in self.diagnostics}
+
+    def format_lines(self) -> list[str]:
+        """One printable line per diagnostic."""
+        return [str(d) for d in self.diagnostics]
+
+    def __repr__(self) -> str:
+        return f"LintReport({len(self.diagnostics)} diagnostics, ok={self.ok})"

@@ -1,0 +1,91 @@
+"""The rule registry: stable codes, default severities, per-run config.
+
+Every diagnostic the analyzer can emit is declared here. A
+:class:`LintConfig` disables rules or overrides their severity per run
+(the CLI maps ``--disable``/``--severity`` onto it); unknown codes are
+rejected early so typos do not silently disable nothing.
+
+Default severities are calibrated against the simulated engine: a rule
+defaults to ERROR only when the engine (or the federated planner) would
+itself fail the query — so a query that executes successfully is always
+lint-clean at ERROR severity. Findings the engine tolerates but a user
+almost certainly did not intend (``WHERE 1``, whole-table shipping)
+default to WARNING.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lint.diagnostics import Severity
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One statically-known rule: code, slug, default severity, blurb."""
+
+    code: str
+    slug: str
+    severity: Severity
+    description: str
+
+
+RULES: dict[str, Rule] = {
+    rule.code: rule
+    for rule in (
+        Rule("RPR001", "syntax-error", Severity.ERROR,
+             "the SQL text could not be parsed"),
+        Rule("RPR101", "unknown-table", Severity.ERROR,
+             "a referenced table is in no catalog/dictionary"),
+        Rule("RPR102", "unknown-column", Severity.ERROR,
+             "a column reference resolves to no visible table"),
+        Rule("RPR103", "ambiguous-column", Severity.ERROR,
+             "an unqualified column exists in several tables"),
+        Rule("RPR104", "unknown-function", Severity.ERROR,
+             "a function name the engine does not implement"),
+        Rule("RPR105", "bad-argument-count", Severity.ERROR,
+             "a function called with the wrong number of arguments"),
+        Rule("RPR106", "duplicate-binding", Severity.WARNING,
+             "two FROM/JOIN entries share one binding name"),
+        Rule("RPR201", "type-mismatch", Severity.ERROR,
+             "an expression mixes incompatible SQL type families"),
+        Rule("RPR202", "non-boolean-where", Severity.WARNING,
+             "a WHERE/HAVING predicate is not boolean-typed"),
+        Rule("RPR301", "aggregate-misuse", Severity.ERROR,
+             "an aggregate in a forbidden clause, nested aggregates, or "
+             "a bare column outside GROUP BY"),
+        Rule("RPR302", "federated-subquery", Severity.ERROR,
+             "a subquery in a query the federated planner must decompose"),
+        Rule("RPR401", "vendor-incompat", Severity.ERROR,
+             "a function unsupported by the vendor the sub-query ships to"),
+        Rule("RPR501", "pushdown-warning", Severity.WARNING,
+             "decomposition will ship a whole table or merge client-side"),
+    )
+}
+
+
+class LintConfig:
+    """Per-run rule configuration: disables and severity overrides."""
+
+    def __init__(
+        self,
+        disabled: set[str] | frozenset[str] = frozenset(),
+        severities: dict[str, Severity] | None = None,
+    ):
+        for code in list(disabled) + list(severities or {}):
+            if code not in RULES:
+                raise ValueError(f"unknown lint rule code {code!r}")
+        self.disabled = frozenset(disabled)
+        self.severities = dict(severities or {})
+
+    def severity_for(self, code: str) -> Severity | None:
+        """Effective severity for ``code``; None when the rule is off."""
+        if code in self.disabled:
+            return None
+        override = self.severities.get(code)
+        if override is not None:
+            return override
+        return RULES[code].severity
+
+
+DEFAULT_CONFIG = LintConfig()

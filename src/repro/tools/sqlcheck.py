@@ -1,0 +1,253 @@
+"""Static SQL checker CLI: ``python -m repro.tools.sqlcheck``.
+
+Lints queries (inline strings or ``.sql`` files, ``;``-separated)
+against one or more XSpec documents and exits non-zero when any
+ERROR-severity diagnostic is found — suitable as a CI gate for the
+query sets an analysis site maintains::
+
+    python -m repro.tools.sqlcheck --xspec warehouse.xspec.xml queries.sql
+    python -m repro.tools.sqlcheck --xspec a.xml --xspec b.xml \\
+        --sql "SELECT run, SUM(edep) FROM events GROUP BY run"
+    python -m repro.tools.sqlcheck --self-test
+
+``--disable CODE`` switches a rule off and ``--severity CODE=LEVEL``
+re-grades one (e.g. ``--severity RPR501=error`` to fail the build on
+whole-table shipping).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.common.errors import ReproError
+from repro.lint import (
+    RULES,
+    LintConfig,
+    Severity,
+    XSpecSchema,
+    lint_sql,
+)
+from repro.metadata.xspec import LowerXSpec
+
+
+def split_statements(text: str) -> list[str]:
+    """Split ``;``-separated SQL, respecting single-quoted strings."""
+    out: list[str] = []
+    buf: list[str] = []
+    in_string = False
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "'":
+            # '' inside a string is an escaped quote, not a terminator.
+            if in_string and i + 1 < len(text) and text[i + 1] == "'":
+                buf.append("''")
+                i += 2
+                continue
+            in_string = not in_string
+            buf.append(ch)
+        elif ch == ";" and not in_string:
+            out.append("".join(buf))
+            buf = []
+        else:
+            buf.append(ch)
+        i += 1
+    out.append("".join(buf))
+    return [s.strip() for s in out if s.strip()]
+
+
+def _build_config(args) -> LintConfig:
+    severities: dict[str, Severity] = {}
+    for spec in args.severity or []:
+        if "=" not in spec:
+            raise ValueError(f"--severity expects CODE=LEVEL, got {spec!r}")
+        code, _eq, level = spec.partition("=")
+        severities[code.strip().upper()] = Severity.from_name(level)
+    return LintConfig(
+        disabled={c.strip().upper() for c in (args.disable or [])},
+        severities=severities,
+    )
+
+
+def _gather_sql(args) -> list[tuple[str, str]]:
+    """(origin, statement) pairs from --sql options and file operands."""
+    work: list[tuple[str, str]] = []
+    for text in args.sql or []:
+        for statement in split_statements(text):
+            work.append(("<sql>", statement))
+    for path in args.files:
+        if path == "-":
+            text = sys.stdin.read()
+        else:
+            with open(path, encoding="utf-8") as handle:
+                text = handle.read()
+        for statement in split_statements(text):
+            work.append((path, statement))
+    return work
+
+
+def _self_test() -> int:
+    """Exercise the analyzer against built-in sample specs.
+
+    Covers one diagnostic per major code family plus a clean query, so
+    CI can verify the checker itself without needing fixture files.
+    """
+    from repro.common.types import SQLType
+
+    def col(name, sql_type, **kw):
+        from repro.metadata.xspec import XSpecColumn
+
+        return XSpecColumn(
+            name=name.upper(), logical_name=name,
+            vendor_type=str(sql_type), logical_type=sql_type, **kw,
+        )
+
+    from repro.metadata.xspec import XSpecTable
+
+    mysql_spec = LowerXSpec(
+        database_name="mart1",
+        vendor="mysql",
+        tables=(
+            XSpecTable(
+                name="EVENTS", logical_name="events",
+                columns=(
+                    col("run", SQLType.integer(), primary_key=True),
+                    col("edep", SQLType.double()),
+                    col("tag", SQLType.varchar(32)),
+                ),
+                row_count=50000,
+            ),
+        ),
+    )
+    mssql_spec = LowerXSpec(
+        database_name="mart2",
+        vendor="mssql",
+        tables=(
+            XSpecTable(
+                name="RUNS", logical_name="runs",
+                columns=(
+                    col("run", SQLType.integer(), primary_key=True),
+                    col("detector", SQLType.varchar(16)),
+                ),
+                row_count=400,
+            ),
+        ),
+    )
+    schema = XSpecSchema(mysql_spec, mssql_spec)
+    expectations = [
+        ("SELECT edep FROM events WHERE run > 5", set()),
+        ("SELECT edep FROM evnts", {"RPR101"}),
+        ("SELECT edap FROM events", {"RPR102"}),
+        ("SELECT edep + tag FROM events", {"RPR201"}),
+        ("SELECT edep FROM events WHERE tag", {"RPR202"}),
+        (
+            "SELECT edep FROM events WHERE run IN (SELECT run FROM runs)",
+            {"RPR302"},
+        ),
+        # TRIM ships to the mssql mart (single-binding conjunct pushdown).
+        (
+            "SELECT e.edep FROM events e INNER JOIN runs r ON e.run = r.run "
+            "WHERE TRIM(r.detector) = 'ECAL'",
+            {"RPR401", "RPR501"},
+        ),
+        ("SELECT SUM(edep) FROM events GROUP BY tag", set()),
+    ]
+    failed = 0
+    for sql, expected in expectations:
+        report = lint_sql(sql, schema)
+        got = report.codes()
+        if got == expected:
+            print(f"ok    {sql!r} -> {sorted(got) or 'clean'}")
+        else:
+            failed += 1
+            print(f"FAIL  {sql!r}: expected {sorted(expected)}, got {sorted(got)}")
+    if failed:
+        print(f"self-test: {failed} of {len(expectations)} cases failed")
+        return 1
+    print(f"self-test: all {len(expectations)} cases passed")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.sqlcheck",
+        description="statically check SQL against XSpec metadata",
+    )
+    parser.add_argument(
+        "--xspec", action="append", metavar="FILE",
+        help="XSpec XML document (repeatable; one per database)",
+    )
+    parser.add_argument(
+        "--sql", action="append", metavar="TEXT",
+        help="inline SQL to check (repeatable; ';'-separated)",
+    )
+    parser.add_argument(
+        "files", nargs="*", metavar="FILE.sql",
+        help="SQL files to check ('-' reads stdin)",
+    )
+    parser.add_argument(
+        "--disable", action="append", metavar="CODE",
+        help="disable a rule (repeatable), e.g. --disable RPR501",
+    )
+    parser.add_argument(
+        "--severity", action="append", metavar="CODE=LEVEL",
+        help="override a rule's severity, e.g. --severity RPR202=error",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table and exit",
+    )
+    parser.add_argument(
+        "--self-test", action="store_true",
+        help="run the built-in sample-spec test suite and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES.values():
+            print(
+                f"{rule.code}  {rule.severity.label:7}  "
+                f"{rule.slug:20} {rule.description}"
+            )
+        return 0
+    if args.self_test:
+        return _self_test()
+
+    try:
+        config = _build_config(args)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    if not args.xspec:
+        parser.error("at least one --xspec FILE is required (or --self-test)")
+    specs = []
+    for path in args.xspec:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                specs.append(LowerXSpec.from_xml(handle.read()))
+        except (OSError, ReproError) as exc:
+            print(f"error: cannot load XSpec {path!r}: {exc}", file=sys.stderr)
+            return 2
+    schema = XSpecSchema(*specs)
+
+    work = _gather_sql(args)
+    if not work:
+        parser.error("nothing to check: pass --sql TEXT or FILE.sql operands")
+
+    errors = warnings = 0
+    for origin, statement in work:
+        report = lint_sql(statement, schema, config)
+        errors += len(report.errors)
+        warnings += len(report.warnings)
+        for line in report.format_lines():
+            print(f"{origin}: {line}")
+    print(
+        f"checked {len(work)} statement(s): "
+        f"{errors} error(s), {warnings} warning(s)"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,7 +9,6 @@ first command after installing the package.
 
 from __future__ import annotations
 
-import sys
 import traceback
 
 CHECKS = []
@@ -80,6 +79,18 @@ def _federation():
     )
     assert answer.rows == [(1,)]
     assert set(answer.routes) == {"pool", "remote"}
+
+
+@check("lint: static pre-flight analysis")
+def _lint():
+    from repro.engine import Database
+    from repro.lint import CatalogSchema, lint_sql
+
+    db = Database("v", "generic")
+    db.execute("CREATE TABLE t (a INT PRIMARY KEY, b VARCHAR(8))")
+    assert lint_sql("SELECT a, b FROM t WHERE a > 1", CatalogSchema(db)).ok
+    report = lint_sql("SELECT zz, a + b FROM t", CatalogSchema(db))
+    assert report.codes() == {"RPR102", "RPR201"}, report.codes()
 
 
 @check("warehouse: ETL pivot + verification")

@@ -132,6 +132,7 @@ class UnityDriver:
         pushdown: bool = True,
         user: str = "grid",
         password: str = "grid",
+        preflight: bool = False,
     ):
         self.dictionary = dictionary
         self.directory = directory
@@ -141,6 +142,7 @@ class UnityDriver:
         self.pushdown = pushdown
         self.user = user
         self.password = password
+        self.preflight = preflight
 
     # -- cost plumbing -----------------------------------------------------------
 
@@ -183,10 +185,25 @@ class UnityDriver:
 
     # -- public API -------------------------------------------------------------------
 
+    def _preflight(
+        self, select: ast.Select, prefer_databases: dict[str, str] | None
+    ) -> None:
+        """Lint against the dictionary and refuse before anything ships."""
+        from repro.common.errors import PreflightError
+        from repro.lint import DictionarySchema, lint_select
+
+        report = lint_select(
+            select, DictionarySchema(self.dictionary, prefer_databases)
+        )
+        if not report.ok:
+            raise PreflightError(report.errors)
+
     def plan(
         self, sql: str | ast.Select, prefer_databases: dict[str, str] | None = None
     ) -> DecomposedQuery:
         select = parse_select(sql) if isinstance(sql, str) else sql
+        if self.preflight:
+            self._preflight(select, prefer_databases)
         self._charge(costs.DECOMPOSE_MS)
         plan = decompose(
             select, self.dictionary, pushdown=self.pushdown,

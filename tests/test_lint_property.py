@@ -1,0 +1,158 @@
+"""Property: any query the engine executes is lint-clean at ERROR level.
+
+The analyzer's severity calibration promises that ERROR diagnostics only
+fire where the engine (or planner) would itself reject the query. We
+fuzz random well- and ill-typed queries against a live catalog; whenever
+execution succeeds, linting the same SQL must produce zero errors.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import ReproError
+from repro.engine import Database
+from repro.lint import CatalogSchema, lint_sql
+
+
+def make_db() -> Database:
+    db = Database("prop", "generic")
+    db.execute(
+        "CREATE TABLE t (a INT PRIMARY KEY, b VARCHAR(8), c DOUBLE, f BOOLEAN)"
+    )
+    for i in range(5):
+        tag = ("hot", "cold", "warm")[i % 3]
+        flag = "TRUE" if i % 2 else "FALSE"
+        db.execute(f"INSERT INTO t VALUES ({i}, '{tag}', {i * 1.5}, {flag})")
+    return db
+
+
+DB = make_db()
+SCHEMA = CatalogSchema(DB)
+
+NUMERIC_ATOMS = st.sampled_from(["a", "c", "0", "2", "3.5"])
+TEXT_ATOMS = st.sampled_from(["b", "'hot'", "'cold'", "'zz'"])
+
+
+def numeric_exprs():
+    return st.recursive(
+        NUMERIC_ATOMS,
+        lambda children: st.one_of(
+            st.tuples(children, st.sampled_from(["+", "-", "*"]), children).map(
+                lambda t: f"({t[0]} {t[1]} {t[2]})"
+            ),
+            children.map(lambda e: f"ABS({e})"),
+            children.map(lambda e: f"ROUND({e}, 1)"),
+            children.map(lambda e: f"-{e}"),
+        ),
+        max_leaves=4,
+    )
+
+
+def text_exprs():
+    return st.recursive(
+        TEXT_ATOMS,
+        lambda children: st.one_of(
+            st.tuples(children, children).map(lambda t: f"({t[0]} || {t[1]})"),
+            children.map(lambda e: f"UPPER({e})"),
+            children.map(lambda e: f"TRIM({e})"),
+        ),
+        max_leaves=3,
+    )
+
+
+def predicates():
+    comparison = st.one_of(
+        st.tuples(
+            numeric_exprs(), st.sampled_from(["=", "<>", "<", ">", "<=", ">="]),
+            numeric_exprs(),
+        ).map(lambda t: f"{t[0]} {t[1]} {t[2]}"),
+        st.tuples(
+            text_exprs(), st.sampled_from(["=", "<>", "<", ">"]), text_exprs()
+        ).map(lambda t: f"{t[0]} {t[1]} {t[2]}"),
+        st.tuples(numeric_exprs(), NUMERIC_ATOMS, NUMERIC_ATOMS).map(
+            lambda t: f"{t[0]} BETWEEN {t[1]} AND {t[2]}"
+        ),
+        st.tuples(TEXT_ATOMS, TEXT_ATOMS).map(
+            lambda t: f"{t[0]} IN ({t[1]}, 'other')"
+        ),
+        text_exprs().map(lambda e: f"{e} LIKE '%o%'"),
+        st.just("f"),
+        st.just("b IS NOT NULL"),
+    )
+    return st.recursive(
+        comparison,
+        lambda children: st.one_of(
+            st.tuples(children, st.sampled_from(["AND", "OR"]), children).map(
+                lambda t: f"({t[0]} {t[1]} {t[2]})"
+            ),
+            children.map(lambda p: f"NOT ({p})"),
+        ),
+        max_leaves=3,
+    )
+
+
+# Mixed pool: some of these are deliberately ill-typed (text compared to a
+# number, SUM over a varchar) — the engine rejects those, and the property
+# only constrains queries that execute.
+def any_exprs():
+    return st.one_of(numeric_exprs(), text_exprs())
+
+
+@st.composite
+def select_statements(draw):
+    shape = draw(st.sampled_from(["plain", "agg", "mixed"]))
+    if shape == "agg":
+        agg = draw(st.sampled_from(["COUNT(*)", "SUM", "AVG", "MIN", "MAX"]))
+        arg = draw(any_exprs())
+        item = agg if agg == "COUNT(*)" else f"{agg}({arg})"
+        group = draw(st.sampled_from(["", " GROUP BY b", " GROUP BY a"]))
+        head = f"SELECT {item} FROM t{group}"
+    else:
+        n_items = draw(st.integers(min_value=1, max_value=3))
+        pool = any_exprs() if shape == "mixed" else numeric_exprs()
+        items = ", ".join(draw(pool) for _ in range(n_items))
+        head = f"SELECT {items} FROM t"
+    if draw(st.booleans()):
+        head += f" WHERE {draw(predicates())}"
+    if draw(st.booleans()):
+        head += f" ORDER BY {draw(st.sampled_from(['a', 'c', 'a DESC']))}"
+    return head
+
+
+@settings(max_examples=200, deadline=None)
+@given(select_statements())
+def test_executable_queries_are_lint_clean(sql):
+    try:
+        DB.execute(sql)
+    except ReproError:
+        return  # engine rejected it; lint may say anything
+    report = lint_sql(sql, SCHEMA)
+    assert report.errors == [], (
+        f"{sql!r} executed fine but lint flagged: {report.format_lines()}"
+    )
+
+
+CORPUS = [
+    "SELECT a, b, c FROM t",
+    "SELECT * FROM t WHERE a > 1 AND b = 'hot'",
+    "SELECT a + c AS s FROM t ORDER BY s",
+    "SELECT COUNT(*), SUM(c) FROM t",
+    "SELECT b, AVG(c) FROM t GROUP BY b HAVING AVG(c) > 0",
+    "SELECT UPPER(b) || '-' || b FROM t",
+    "SELECT a FROM t WHERE c BETWEEN 0 AND 10",
+    "SELECT a FROM t WHERE b IN ('hot', 'cold')",
+    "SELECT a FROM t WHERE a IN (SELECT a FROM t WHERE f)",
+    "SELECT MIN(b), MAX(b) FROM t",
+    "SELECT CASE WHEN a > 2 THEN 'big' ELSE 'small' END FROM t",
+    "SELECT COALESCE(b, 'none') FROM t",
+    "SELECT x.a, y.c FROM t x INNER JOIN t y ON x.a = y.a WHERE x.f",
+    "SELECT a FROM t WHERE NOT (a > 3) ORDER BY a DESC LIMIT 2",
+    "SELECT ROUND(c, 1), ABS(a - 2) FROM t",
+]
+
+
+def test_corpus_executes_and_is_clean():
+    for sql in CORPUS:
+        DB.execute(sql)  # must not raise
+        report = lint_sql(sql, SCHEMA)
+        assert report.errors == [], (sql, report.format_lines())

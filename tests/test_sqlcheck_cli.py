@@ -1,0 +1,120 @@
+"""Tests for the ``python -m repro.tools.sqlcheck`` CLI entry point."""
+
+import pytest
+
+from repro.common import SQLType
+from repro.metadata import LowerXSpec
+from repro.metadata.xspec import XSpecColumn, XSpecTable
+from repro.tools.sqlcheck import main, split_statements
+
+
+def _col(name, sql_type):
+    return XSpecColumn(
+        name=name.upper(), logical_name=name,
+        vendor_type=str(sql_type), logical_type=sql_type,
+    )
+
+
+@pytest.fixture
+def xspec_file(tmp_path):
+    spec = LowerXSpec(
+        database_name="mart1",
+        vendor="sqlite",
+        tables=(
+            XSpecTable(
+                name="EVENTS", logical_name="events",
+                columns=(
+                    _col("run", SQLType.integer()),
+                    _col("edep", SQLType.double()),
+                    _col("tag", SQLType.varchar(16)),
+                ),
+                row_count=100,
+            ),
+        ),
+    )
+    path = tmp_path / "mart1.xspec.xml"
+    path.write_text(spec.to_xml(), encoding="utf-8")
+    return str(path)
+
+
+class TestSplitStatements:
+    def test_basic(self):
+        assert split_statements("SELECT 1; SELECT 2") == ["SELECT 1", "SELECT 2"]
+
+    def test_semicolon_inside_string(self):
+        assert split_statements("SELECT 'a;b' FROM t") == ["SELECT 'a;b' FROM t"]
+
+    def test_escaped_quote(self):
+        assert split_statements("SELECT 'it''s;ok' FROM t; SELECT 1") == [
+            "SELECT 'it''s;ok' FROM t",
+            "SELECT 1",
+        ]
+
+    def test_trailing_and_empty(self):
+        assert split_statements(" ;; SELECT 1 ; ") == ["SELECT 1"]
+
+
+class TestExitCodes:
+    def test_clean_query_exits_zero(self, xspec_file, capsys):
+        code = main(["--xspec", xspec_file, "--sql",
+                     "SELECT run, SUM(edep) FROM events GROUP BY run"])
+        assert code == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_unknown_column_exits_one(self, xspec_file, capsys):
+        code = main(["--xspec", xspec_file, "--sql",
+                     "SELECT no_col FROM events"])
+        assert code == 1
+        assert "RPR102" in capsys.readouterr().out
+
+    def test_vendor_incompatible_function_exits_one(self, xspec_file, capsys):
+        # the simulated sqlite dialect has no SQRT
+        code = main(["--xspec", xspec_file, "--sql",
+                     "SELECT SQRT(edep) FROM events"])
+        assert code == 1
+        assert "RPR401" in capsys.readouterr().out
+
+    def test_warnings_alone_exit_zero(self, xspec_file, capsys):
+        code = main(["--xspec", xspec_file, "--sql",
+                     "SELECT edep FROM events WHERE 1"])
+        assert code == 0
+        assert "RPR202" in capsys.readouterr().out
+
+    def test_sql_file_operand(self, xspec_file, tmp_path, capsys):
+        sql_path = tmp_path / "queries.sql"
+        sql_path.write_text(
+            "SELECT run FROM events;\nSELECT bogus FROM events;\n",
+            encoding="utf-8",
+        )
+        code = main(["--xspec", xspec_file, str(sql_path)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "queries.sql" in out and "RPR102" in out
+
+    def test_missing_xspec_file_exits_two(self, tmp_path, capsys):
+        code = main(["--xspec", str(tmp_path / "nope.xml"), "--sql", "SELECT 1"])
+        assert code == 2
+
+
+class TestFlags:
+    def test_disable(self, xspec_file):
+        assert main(["--xspec", xspec_file, "--disable", "RPR401",
+                     "--sql", "SELECT SQRT(edep) FROM events"]) == 0
+
+    def test_severity_promotion(self, xspec_file):
+        assert main(["--xspec", xspec_file, "--severity", "RPR202=error",
+                     "--sql", "SELECT edep FROM events WHERE 1"]) == 1
+
+    def test_severity_demotion(self, xspec_file):
+        assert main(["--xspec", xspec_file, "--severity", "RPR401=warning",
+                     "--sql", "SELECT SQRT(edep) FROM events"]) == 0
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RPR001", "RPR101", "RPR201", "RPR501"):
+            assert code in out
+
+    def test_self_test_passes(self, capsys):
+        assert main(["--self-test"]) == 0
+        assert "all 8 cases passed" in capsys.readouterr().out

@@ -123,10 +123,10 @@ class TestValidateTool:
 
         assert validate_main([]) == 0
         out = capsys.readouterr().out
-        assert "all 6 checks passed" in out
+        assert "all 7 checks passed" in out
 
     def test_check_registry_populated(self):
         from repro.tools.validate import CHECKS
 
         names = [n for n, _ in CHECKS]
-        assert len(names) == len(set(names)) == 6
+        assert len(names) == len(set(names)) == 7
