@@ -37,6 +37,12 @@ from repro.metadata import (
     generate_lower_xspec,
 )
 from repro.net import Network, SimClock
+from repro.obs import (
+    MetricsRegistry,
+    MonitorDatabase,
+    Tracer,
+    format_span_tree,
+)
 from repro.poolral import PoolRAL, PoolRALWrapper
 from repro.rls import RLSClient, RLSServer
 from repro.unity import UnityDriver
@@ -61,6 +67,8 @@ __all__ = [
     "LintReport",
     "LowerXSpec",
     "MartSet",
+    "MetricsRegistry",
+    "MonitorDatabase",
     "Network",
     "Ntuple",
     "PoolRAL",
@@ -75,12 +83,14 @@ __all__ = [
     "ServerHandle",
     "Severity",
     "SimClock",
+    "Tracer",
     "TypeKind",
     "UnityDriver",
     "UpperXSpec",
     "Warehouse",
     "available_vendors",
     "connect",
+    "format_span_tree",
     "generate_lower_xspec",
     "generate_ntuple",
     "get_dialect",

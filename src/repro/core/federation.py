@@ -79,8 +79,15 @@ class GridFederation:
         schema_poll_interval_ms: float | None = None,
         jdbc_pooling: bool = False,
         preflight: bool = False,
+        observe: bool = False,
     ) -> ServerHandle:
-        """Start a JClarens server with a data access service on ``host``."""
+        """Start a JClarens server with a data access service on ``host``.
+
+        With ``observe=True`` the service traces queries and registers
+        its R-GMA-style monitor tables (``monitor_spans`` etc.) as an
+        ordinary federated database, so telemetry is queryable with
+        plain SQL — locally or from any peer via the RLS.
+        """
         self.add_host(host, tier)
         server = ClarensServer(name, host, self.network, self.clock)
         rls_client = RLSClient(host, self.network, self.clock, self.rls_server)
@@ -94,6 +101,7 @@ class GridFederation:
             schema_poll_interval_ms=schema_poll_interval_ms,
             jdbc_pooling=jdbc_pooling,
             preflight=preflight,
+            observe=observe,
         )
         server.register_service(service)
         # server-side histogramming rides alongside the data access service
@@ -105,6 +113,10 @@ class GridFederation:
         handle = ServerHandle(server, service)
         self._servers[service.service_url] = handle
         self._servers_by_name[name] = handle
+        if service.monitor is not None:
+            # the monitor database is just another federated database:
+            # published to the RLS, so remote peers can query it too
+            self.attach_database(handle, service.monitor, db_host=host)
         return handle
 
     def _resolve_server(self, service_url: str) -> ClarensServer | None:

@@ -39,6 +39,7 @@ class SubQueryRouter:
         force_jdbc: bool = False,
         remote_fetch: Callable[[SubQuery, tuple], tuple] | None = None,
         jdbc_pool=None,
+        metrics=None,
     ):
         self.ral = ral
         self.directory = directory
@@ -52,7 +53,23 @@ class SubQueryRouter:
         #: optional ConnectionPool: reuse JDBC connections instead of the
         #: prototype's connect-per-query behaviour (the pooling ablation)
         self.jdbc_pool = jdbc_pool
-        self.route_counts = {"pool": 0, "jdbc": 0, "remote": 0}
+        if metrics is None:
+            from repro.obs.metrics import MetricsRegistry
+
+            metrics = MetricsRegistry()
+        self.metrics = metrics
+
+    @property
+    def route_counts(self) -> dict[str, int]:
+        """Per-route sub-query counts (a view over the metrics registry)."""
+        return {
+            via: int(self.metrics.counter(f"subqueries.{via}").value)
+            for via in ("pool", "jdbc", "remote")
+        }
+
+    def _count_route(self, via: str, rows: list[tuple]) -> None:
+        self.metrics.counter(f"subqueries.{via}").inc()
+        self.metrics.counter("rows_moved").inc(len(rows))
 
     # -- cost helpers ------------------------------------------------------------
 
@@ -79,8 +96,8 @@ class SubQueryRouter:
                     f"sub-query for {sub.binding!r} needs remote forwarding, "
                     "but this router has no remote_fetch"
                 )
-            self.route_counts["remote"] += 1
             columns, types, rows = self.remote_fetch(sub, params)
+            self._count_route("remote", rows)
             return columns, types, rows, "remote"
         if not self.force_jdbc and self.ral.supports_url(sub.location.url):
             return self._via_pool(sub, params)
@@ -91,7 +108,7 @@ class SubQueryRouter:
         vendor_sql = dialect.render_select(sub.select)
         cursor = self.ral.execute_sql(sub.location.url, vendor_sql, params)
         rows = cursor.fetchall()
-        self.route_counts["pool"] += 1
+        self._count_route("pool", rows)
         binding = self.directory.lookup(sub.location.url)
         self._transfer_rows(binding.host_name, rows)
         return cursor.columns, cursor.types, rows, "pool"
@@ -128,7 +145,7 @@ class SubQueryRouter:
                 columns, types = cursor.columns, cursor.types
             finally:
                 connection.close()
-        self.route_counts["jdbc"] += 1
+        self._count_route("jdbc", rows)
         binding = self.directory.lookup(sub.location.url)
         self._transfer_rows(binding.host_name, rows)
         return columns, types, rows, "jdbc"

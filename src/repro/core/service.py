@@ -29,6 +29,8 @@ from repro.metadata.dictionary import DataDictionary
 from repro.metadata.tracker import SchemaTracker
 from repro.metadata.xspec import LowerXSpec
 from repro.net import costs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NOOP_SPAN, QueryRecord, Tracer
 from repro.poolral.ral import PoolRAL
 from repro.rls.client import RLSClient
 from repro.sql import ast
@@ -49,6 +51,8 @@ class QueryAnswer:
     servers_accessed: int
     tables_accessed: int
     routes: list[str] = field(default_factory=list)
+    #: per-sub-query provenance (timings, replica host) — see SubQueryTrace
+    traces: list = field(default_factory=list)
 
     @property
     def row_count(self) -> int:
@@ -74,7 +78,7 @@ class DataAccessService(ClarensService):
     service_name = "dataaccess"
     exposed = (
         "query", "describe", "tables", "ping", "plugin", "explain", "stats",
-        "lint",
+        "lint", "trace", "metrics",
     )
 
     def __init__(
@@ -88,6 +92,7 @@ class DataAccessService(ClarensService):
         schema_poll_interval_ms: float | None = None,
         jdbc_pooling: bool = False,
         preflight: bool = False,
+        observe: bool = False,
     ):
         self.preflight = preflight
         self.server_ = server  # 'server' attr is set by register_service too
@@ -98,6 +103,10 @@ class DataAccessService(ClarensService):
         self.ral = PoolRAL(directory, server.clock)
         self.tracker = SchemaTracker()
         self.tracker.subscribe(self._on_schema_change)
+        #: single source of truth for operational counters (always on —
+        #: stats() is a view over it); callable, so it doubles as the
+        #: ``dataaccess.metrics`` wire method.
+        self.metrics = MetricsRegistry()
         jdbc_pool = None
         if jdbc_pooling:
             from repro.driver.pool import ConnectionPool
@@ -112,10 +121,10 @@ class DataAccessService(ClarensService):
             force_jdbc=force_jdbc,
             remote_fetch=self._remote_fetch,
             jdbc_pool=jdbc_pool,
+            metrics=self.metrics,
         )
         self._peer_client = ClarensClient(server.host, server.network, server.clock)
         self._service_url = f"clarens://{server.host}/{server.name}"
-        self.queries_served = 0
         # §4.9's "after a fixed interval of time, a thread is run": in
         # virtual time the poll fires lazily once the interval elapsed.
         self.schema_poll_interval_ms = schema_poll_interval_ms
@@ -127,6 +136,22 @@ class DataAccessService(ClarensService):
             self.replica_selector = ReplicaSelector(
                 server.network, directory, server.host
             )
+        # Span tracing + R-GMA monitor tables are opt-in: with observe
+        # off, no tracer, no monitor, and no span objects ever allocated.
+        self.tracer: Tracer | None = None
+        self.monitor = None
+        if observe:
+            from repro.obs.monitor import MonitorDatabase
+
+            self.tracer = Tracer(server.clock, server.name)
+            self.monitor = MonitorDatabase(
+                f"monitor_{server.name}", tracer=self.tracer, metrics=self.metrics
+            )
+            server.network.add_observer(self._on_transfer)
+            if rls_client is not None:
+                rls_client.tracer = self.tracer
+        if rls_client is not None:
+            rls_client.metrics = self.metrics
 
     # ------------------------------------------------------------------
     # administration (local only — not web-exposed)
@@ -141,6 +166,41 @@ class DataAccessService(ClarensService):
     def clock(self):
         """The server's virtual clock."""
         return self.server_.clock
+
+    @property
+    def queries_served(self) -> int:
+        """Successfully answered queries (view over the metrics registry)."""
+        return int(self.metrics.counter("queries").value)
+
+    # ------------------------------------------------------------------
+    # observability plumbing
+    # ------------------------------------------------------------------
+
+    def _span(self, stage: str, **attrs):
+        """A tracer span, or the shared no-op when tracing is off."""
+        if self.tracer is None:
+            return NOOP_SPAN
+        return self.tracer.span(stage, **attrs)
+
+    def _on_transfer(self, src: str, dst: str, nbytes: int, ms: float) -> None:
+        """Network observer: account link traffic touching this host."""
+        host = self.server_.host
+        if host != src and host != dst:
+            return
+        self.metrics.counter(f"net.bytes.{src}->{dst}").inc(nbytes)
+        self.metrics.counter("net.messages").inc()
+        if self.tracer is not None and self.tracer.active is not None:
+            end = self.tracer.now_ms
+            self.tracer.record(
+                "transfer", end - ms, end, src=src, dst=dst, bytes=int(nbytes)
+            )
+
+    def _host_of(self, url: str) -> str | None:
+        """Host name serving a database URL (for span/trace labelling)."""
+        try:
+            return self.directory.lookup(url).host_name
+        except Exception:  # noqa: BLE001 - labelling must never fail a query
+            return None
 
     def register_database(
         self,
@@ -210,6 +270,7 @@ class DataAccessService(ClarensService):
 
         report = lint_select(select, DictionarySchema(self.dictionary))
         if not report.ok:
+            self.metrics.counter("preflight_rejections").inc()
             raise PreflightError(report.errors)
         return True
 
@@ -219,32 +280,99 @@ class DataAccessService(ClarensService):
         """Execute a logical-name query; the local (non-RPC) entry point."""
         self._maybe_poll_schemas()
         select = parse_select(sql) if isinstance(sql, str) else sql
-        preflighted = self._run_preflight(select) if self.preflight else True
+        tracer = self.tracer
+        start_ms = self.clock.now_ms if self.clock is not None else 0.0
+        if tracer is None:
+            answer = self._execute_query(select, params, no_forward, None)
+            self._account_query(answer, start_ms)
+            return answer
+        with tracer.span("query") as root:
+            root.set("sql", select.unparse())
+            try:
+                answer = self._execute_query(select, params, no_forward, root)
+            except Exception as exc:
+                duration = (
+                    self.clock.now_ms - start_ms if self.clock is not None else 0.0
+                )
+                tracer.queries.append(
+                    QueryRecord(
+                        trace_id=root.trace_id,
+                        server=self.server_.name,
+                        sql=select.unparse(),
+                        distributed=False,
+                        row_count=0,
+                        duration_ms=duration,
+                        servers=0,
+                        status=f"error: {type(exc).__name__}",
+                    )
+                )
+                raise
+        duration = self.clock.now_ms - start_ms if self.clock is not None else 0.0
+        self._account_query(answer, start_ms)
+        tracer.queries.append(
+            QueryRecord(
+                trace_id=root.trace_id,
+                server=self.server_.name,
+                sql=select.unparse(),
+                distributed=answer.distributed,
+                row_count=answer.row_count,
+                duration_ms=duration,
+                servers=answer.servers_accessed,
+                status="ok",
+            )
+        )
+        return answer
+
+    def _account_query(self, answer: QueryAnswer, start_ms: float) -> None:
+        """Fold one successful query into the metrics registry."""
+        self.metrics.counter("queries").inc()
+        if answer.distributed:
+            self.metrics.counter("queries_distributed").inc()
+        self.metrics.counter("rows_returned").inc(answer.row_count)
         if self.clock is not None:
-            self.clock.advance_ms(costs.DECOMPOSE_MS)
+            self.metrics.histogram("query_ms").observe(self.clock.now_ms - start_ms)
+
+    def _execute_query(
+        self,
+        select: ast.Select,
+        params: tuple,
+        no_forward: bool,
+        root_span,
+    ) -> QueryAnswer:
+        """The query pipeline: preflight → decompose → fetch → merge."""
+        preflighted = True
+        if self.preflight:
+            with self._span("preflight"):
+                preflighted = self._run_preflight(select)
 
         remote_servers: set[str] = set()
-        for ref in select.referenced_tables():
-            if not self.dictionary.has_table(ref.name):
-                if no_forward:
-                    raise TableNotRegisteredError(ref.name)
-                remote_servers.add(self._discover_remote(ref.name))
-            else:
-                loc = self.dictionary.locate(ref.name)
-                if loc.is_remote:
-                    remote_servers.add(loc.remote_server)
-        if not preflighted:
-            # discovery has registered the remote tables; check now,
-            # before any sub-query ships
-            self._run_preflight(select)
+        with self._span("decompose") as decompose_span:
+            if self.clock is not None:
+                self.clock.advance_ms(costs.DECOMPOSE_MS)
+            for ref in select.referenced_tables():
+                if not self.dictionary.has_table(ref.name):
+                    if no_forward:
+                        raise TableNotRegisteredError(ref.name)
+                    remote_servers.add(self._discover_remote(ref.name))
+                else:
+                    loc = self.dictionary.locate(ref.name)
+                    if loc.is_remote:
+                        remote_servers.add(loc.remote_server)
+            if not preflighted:
+                # discovery has registered the remote tables; check now,
+                # before any sub-query ships
+                with self._span("preflight"):
+                    self._run_preflight(select)
 
-        prefer = None
-        if self.replica_selector is not None:
-            prefer = self.replica_selector.preferences(
-                self.dictionary,
-                [ref.name for ref in select.referenced_tables()],
-            )
-        plan = decompose(select, self.dictionary, prefer_databases=prefer)
+            prefer = None
+            if self.replica_selector is not None:
+                prefer = self.replica_selector.preferences(
+                    self.dictionary,
+                    [ref.name for ref in select.referenced_tables()],
+                )
+            plan = decompose(select, self.dictionary, prefer_databases=prefer)
+            decompose_span.set("subqueries", len(plan.subqueries))
+            decompose_span.set("distributed", plan.is_distributed)
 
         # Group sub-queries: local ones run here; each remote server's
         # batch runs on that server, concurrently with everything else.
@@ -253,11 +381,14 @@ class DataAccessService(ClarensService):
             groups.setdefault(sub.location.remote_server, []).append(sub)
 
         collected: dict[str, tuple] = {}
+        sub_meta: dict[str, tuple] | None = {} if self.tracer is not None else None
 
         def run_group(subs: list[SubQuery]):
             def _run():
                 for sub in subs:
-                    collected[sub.binding] = self._run_with_failover(sub, params)
+                    collected[sub.binding] = self._run_with_failover(
+                        sub, params, sub_meta
+                    )
 
             return _run
 
@@ -270,8 +401,18 @@ class DataAccessService(ClarensService):
         def replay_runner(sub: SubQuery, _params: tuple):
             return collected[sub.binding]
 
-        result = execute_plan(plan, replay_runner, params, self.clock)
-        self.queries_served += 1
+        with self._span("merge") as merge_span:
+            result = execute_plan(plan, replay_runner, params, self.clock)
+            merge_span.set("rows", len(result.rows))
+        if sub_meta:
+            # replace the replayed traces' provenance/timing with what the
+            # real (possibly failed-over) execution recorded
+            for trace in result.traces:
+                meta = sub_meta.get(trace.binding)
+                if meta is None:
+                    continue
+                trace.start_ms, trace.end_ms, trace.replica_host = meta[0:3]
+                trace.database, trace.url = meta[3:5]
         return QueryAnswer(
             columns=result.columns,
             types=result.types,
@@ -281,6 +422,7 @@ class DataAccessService(ClarensService):
             servers_accessed=1 + len(remote_servers),
             tables_accessed=len(plan.original.referenced_tables()),
             routes=[t.via for t in result.traces],
+            traces=list(result.traces),
         )
 
     def _maybe_poll_schemas(self) -> None:
@@ -291,7 +433,36 @@ class DataAccessService(ClarensService):
             self._last_schema_poll_ms = self.clock.now_ms
             self.tracker.poll()
 
-    def _run_with_failover(self, sub: SubQuery, params: tuple):
+    def _attempt(self, sub: SubQuery, params: tuple, sub_meta: dict | None):
+        """One routed sub-query execution, wrapped in its own span.
+
+        Each attempt's span closes before any retry opens, so a failed
+        attempt and its failover retry show up as *siblings* in the
+        trace — the failed one carrying ``error=...``.
+        """
+        if self.tracer is None:
+            return self.router(sub, params)
+        loc = sub.location
+        host = loc.remote_server if loc.is_remote else self._host_of(loc.url)
+        with self.tracer.span(
+            "subquery",
+            binding=sub.binding,
+            database=loc.database_name,
+            table=loc.logical_table,
+            host=host or "?",
+        ) as span:
+            t0 = self.clock.now_ms
+            columns, types, rows, via = self.router(sub, params)
+            span.set("route", via).set("rows", len(rows))
+            if sub_meta is not None:
+                sub_meta[sub.binding] = (
+                    t0, self.clock.now_ms, host, loc.database_name, loc.url,
+                )
+            return columns, types, rows, via
+
+    def _run_with_failover(
+        self, sub: SubQuery, params: tuple, sub_meta: dict | None = None
+    ):
         """Run one sub-query; on a dead database, fail over to a replica.
 
         The alternate replica may use different physical naming, so the
@@ -301,8 +472,9 @@ class DataAccessService(ClarensService):
         from repro.common.errors import ConnectionFailedError
 
         try:
-            return self.router(sub, params)
+            return self._attempt(sub, params, sub_meta)
         except ConnectionFailedError:
+            self.metrics.counter("failovers").inc()
             failed = sub.location.database_name
             table = sub.location.logical_table
             alternates = [
@@ -344,8 +516,9 @@ class DataAccessService(ClarensService):
                     pushed_conjuncts=retry.pushed_conjuncts,
                     logical_select=sub.logical_select,
                 )
+                self.metrics.counter("failover_retries").inc()
                 try:
-                    return self.router(retry, params)
+                    return self._attempt(retry, params, sub_meta)
                 except ConnectionFailedError as exc:
                     last_error = exc
             raise last_error if last_error else ConnectionFailedError(
@@ -375,32 +548,45 @@ class DataAccessService(ClarensService):
         """
         if self.rls is None:
             raise TableNotRegisteredError(logical_table)
-        urls = self.rls.lookup(logical_table)
-        if exclude_own:
-            urls = [u for u in urls if u != self._service_url]
-        last_error: Exception | None = None
-        for service_url in urls:
-            try:
-                peer = self._resolve_peer(service_url)
-                description = self._peer_client.call(
-                    peer, "dataaccess.describe", logical_table
+        with self._span("rls_lookup", table=logical_table):
+            urls = self.rls.lookup(logical_table)
+            if exclude_own:
+                urls = [u for u in urls if u != self._service_url]
+            last_error: Exception | None = None
+            for service_url in urls:
+                try:
+                    peer = self._resolve_peer(service_url)
+                    description = self._peer_client.call(
+                        peer, "dataaccess.describe", logical_table
+                    )
+                except (FederationError, ClarensFault) as exc:
+                    last_error = exc
+                    continue
+                spec = LowerXSpec.from_xml(description["spec_xml"])
+                self.dictionary.add_database(
+                    spec, description["url"], remote_server=service_url
                 )
-            except (FederationError, ClarensFault) as exc:
-                last_error = exc
-                continue
-            spec = LowerXSpec.from_xml(description["spec_xml"])
-            self.dictionary.add_database(
-                spec, description["url"], remote_server=service_url
-            )
-            return service_url
+                return service_url
         raise last_error if last_error else TableNotRegisteredError(logical_table)
 
     def _remote_fetch(self, sub: SubQuery, params: tuple):
-        """Forward one sub-query to the remote server hosting its table."""
+        """Forward one sub-query to the remote server hosting its table.
+
+        When tracing, the call carries ``{trace_id, parent_id}`` so the
+        remote server's spans join this query's trace; they come back
+        piggybacked on the response and are imported here.
+        """
+        self.metrics.counter("remote_fetches").inc()
         peer = self._resolve_peer(sub.location.remote_server)
-        response = self._peer_client.call(
-            peer, "dataaccess.query", sub.logical_sql, list(params), True
-        )
+        call_args = [sub.logical_sql, list(params), True]
+        active = self.tracer.active if self.tracer is not None else None
+        if active is not None:
+            call_args.append(
+                {"trace_id": active.trace_id, "parent_id": active.span_id}
+            )
+        response = self._peer_client.call(peer, "dataaccess.query", *call_args)
+        if active is not None and response.get("spans"):
+            self.tracer.import_spans(response["spans"])
         types = [_type_from_text(t) for t in response["types"]]
         rows = [tuple(r) for r in response["rows"]]
         return response["columns"], types, rows
@@ -409,10 +595,29 @@ class DataAccessService(ClarensService):
     # web-exposed methods (wire-safe values only)
     # ------------------------------------------------------------------
 
-    def query(self, sql: str, params: list | None = None, no_forward: bool = False):
-        """Clarens method: run a query, return a struct of plain lists."""
-        answer = self.execute(sql, tuple(params or ()), bool(no_forward))
-        return {
+    def query(
+        self,
+        sql: str,
+        params: list | None = None,
+        no_forward: bool = False,
+        trace_ctx: dict | None = None,
+    ):
+        """Clarens method: run a query, return a struct of plain lists.
+
+        A forwarding origin server may pass ``trace_ctx`` (trace id +
+        parent span id); this server's spans then join that trace and
+        travel back in the response's ``spans`` key.
+        """
+        adopted = bool(trace_ctx) and self.tracer is not None
+        mark = len(self.tracer.spans) if adopted else 0
+        if adopted:
+            self.tracer.adopt(trace_ctx["trace_id"], trace_ctx["parent_id"])
+        try:
+            answer = self.execute(sql, tuple(params or ()), bool(no_forward))
+        finally:
+            if adopted:
+                self.tracer.release()
+        out = {
             "columns": list(answer.columns),
             "types": [str(t) for t in answer.types],
             "rows": [list(r) for r in answer.rows],
@@ -421,6 +626,9 @@ class DataAccessService(ClarensService):
             "tables": answer.tables_accessed,
             "routes": list(answer.routes),
         }
+        if adopted:
+            out["spans"] = [s.as_dict() for s in self.tracer.spans[mark:]]
+        return out
 
     def describe(self, logical_table: str):
         """Clarens method: metadata for one locally registered table."""
@@ -462,10 +670,16 @@ class DataAccessService(ClarensService):
         connection-pool hit rate (when pooling is on), schema-tracker
         activity, and per-method container statistics.
         """
+        count = lambda name: int(self.metrics.counter(name).value)  # noqa: E731
         out = {
             "server": self.server_.name,
             "queries_served": self.queries_served,
             "routes": dict(self.router.route_counts),
+            "failovers": count("failovers"),
+            "failover_retries": count("failover_retries"),
+            "remote_fetches": count("remote_fetches"),
+            "preflight_rejections": count("preflight_rejections"),
+            "rows_returned": count("rows_returned"),
             "pool_handles": self.ral.handle_count(),
             "tracker_polls": self.tracker.polls,
             "schema_changes": self.tracker.changes_detected,
@@ -488,6 +702,19 @@ class DataAccessService(ClarensService):
                 "hit_rate": round(pool.hit_rate, 4),
             }
         return out
+
+    def trace(self, trace_id: str = ""):
+        """Clarens method: the finished spans of one trace, wire-safe.
+
+        With no ``trace_id``, returns the most recent locally rooted
+        trace. Returns ``[]`` when the server is not observing.
+        """
+        if self.tracer is None:
+            return []
+        tid = trace_id or self.tracer.last_trace_id
+        if not tid:
+            return []
+        return [s.as_dict() for s in self.tracer.spans_for(tid)]
 
     def explain(self, sql: str):
         """Clarens method: the federated plan for ``sql``, not executed.

@@ -52,6 +52,20 @@ class Network:
         self._failed_hosts: set[str] = set()
         self.bytes_moved = 0
         self.messages = 0
+        #: observers called as fn(src, dst, nbytes, ms) after a transfer
+        self._observers: list = []
+
+    # -- observers --------------------------------------------------------------
+
+    def add_observer(self, fn) -> None:
+        """Subscribe ``fn(src, dst, nbytes, ms)`` to successful transfers."""
+        if fn not in self._observers:
+            self._observers.append(fn)
+
+    def remove_observer(self, fn) -> None:
+        """Unsubscribe a transfer observer."""
+        if fn in self._observers:
+            self._observers.remove(fn)
 
     # -- topology -------------------------------------------------------------
 
@@ -134,4 +148,6 @@ class Network:
         clock.advance_ms(ms)
         self.bytes_moved += nbytes
         self.messages += 1
+        for fn in self._observers:
+            fn(src, dst, nbytes, ms)
         return ms

@@ -1,0 +1,37 @@
+"""Federation-wide telemetry: tracing, metrics, self-querying monitors.
+
+Three cooperating pieces, all stamped from the simulated clock:
+
+* :mod:`repro.obs.trace` — span-based query-lifecycle tracing with
+  parent/child propagation across Clarens hops;
+* :mod:`repro.obs.metrics` — a named-instrument registry (counters,
+  gauges, percentile histograms) that is the single source of truth
+  behind ``dataaccess.stats``;
+* :mod:`repro.obs.monitor` — R-GMA-style monitor tables: the
+  federation publishes its own telemetry as relational tables and
+  answers plain federated SQL about itself.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.monitor import MONITOR_TABLES, MonitorDatabase
+from repro.obs.trace import (
+    NOOP_SPAN,
+    QueryRecord,
+    Span,
+    Tracer,
+    format_span_tree,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MONITOR_TABLES",
+    "MonitorDatabase",
+    "NOOP_SPAN",
+    "QueryRecord",
+    "Span",
+    "Tracer",
+    "format_span_tree",
+]

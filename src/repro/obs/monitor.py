@@ -1,0 +1,131 @@
+"""R-GMA-style self-querying monitor tables.
+
+R-GMA's insight (Cooke et al.) is that Grid monitoring should itself be
+published and consumed *as relational tables*: producers insert rows,
+consumers run plain SQL. We adopt that literally — each observing
+JClarens server owns a :class:`MonitorDatabase`, a real in-memory
+:class:`~repro.engine.database.Database` whose tables are regenerated
+from the live tracer and metrics registry every time a query touches
+them. Because it registers through the ordinary
+``DataAccessService.register_database`` path, the federation machinery
+(dictionary, RLS publication, decomposition, routing, remote
+forwarding) applies unchanged: clients can ``SELECT stage,
+AVG(duration_ms) FROM monitor_spans GROUP BY stage`` — locally, or
+against a *remote* peer's monitor tables discovered through the RLS.
+"""
+
+from __future__ import annotations
+
+from repro.engine.database import Database
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+#: DDL for the three monitor tables (lower-case physical names double as
+#: the logical names the federation publishes).
+_DDL = (
+    """CREATE TABLE monitor_spans (
+        trace_id VARCHAR(64), span_id VARCHAR(64), parent_id VARCHAR(64),
+        stage VARCHAR(32), server VARCHAR(64),
+        start_ms DOUBLE, end_ms DOUBLE, duration_ms DOUBLE,
+        route VARCHAR(16), row_count INT, error VARCHAR(200)
+    )""",
+    """CREATE TABLE monitor_metrics (
+        metric VARCHAR(100), kind VARCHAR(16), stat VARCHAR(8), value DOUBLE
+    )""",
+    """CREATE TABLE monitor_queries (
+        trace_id VARCHAR(64), server VARCHAR(64), sql_text VARCHAR(500),
+        distributed INT, row_count INT, duration_ms DOUBLE,
+        servers INT, status VARCHAR(80)
+    )""",
+)
+
+MONITOR_TABLES = ("monitor_spans", "monitor_metrics", "monitor_queries")
+
+
+class MonitorDatabase(Database):
+    """An engine database whose tables mirror live telemetry.
+
+    The tables refresh lazily on access (R-GMA's latest-state producer),
+    so ``SELECT COUNT(*) FROM monitor_spans`` executed through the
+    federation returns whatever the tracer holds at fetch time —
+    including the spans of the monitoring query itself that finished
+    before the fetch.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        tracer: Tracer,
+        metrics: MetricsRegistry,
+        vendor: str = "mysql",
+    ):
+        super().__init__(name, vendor)
+        self.tracer = tracer
+        self.metrics = metrics
+        self._refreshing = False
+        for ddl in _DDL:
+            self.execute(ddl)
+
+    # -- refresh-on-read ---------------------------------------------------------
+
+    def resolve_table(self, name: str):
+        if not self._refreshing:
+            self.refresh()
+        return super().resolve_table(name)
+
+    def refresh(self) -> None:
+        """Regenerate all three tables from the live tracer/registry."""
+        self._refreshing = True
+        try:
+            spans = self.catalog.get_table("monitor_spans")
+            spans.replace_rows(
+                [
+                    (
+                        s.trace_id,
+                        s.span_id,
+                        s.parent_id,
+                        s.stage,
+                        s.server,
+                        float(s.start_ms),
+                        float(s.end_ms if s.end_ms is not None else s.start_ms),
+                        float(s.duration_ms),
+                        _text_or_none(s.attrs.get("route")),
+                        _int_or_none(s.attrs.get("rows")),
+                        s.error,
+                    )
+                    for s in self.tracer.spans
+                ]
+            )
+            metrics = self.catalog.get_table("monitor_metrics")
+            metrics.replace_rows(
+                [
+                    (metric, kind, stat, float(value))
+                    for metric, kind, stat, value in self.metrics.snapshot_rows()
+                ]
+            )
+            queries = self.catalog.get_table("monitor_queries")
+            queries.replace_rows(
+                [
+                    (
+                        q.trace_id,
+                        q.server,
+                        q.sql,
+                        1 if q.distributed else 0,
+                        int(q.row_count),
+                        float(q.duration_ms),
+                        int(q.servers),
+                        q.status,
+                    )
+                    for q in self.tracer.queries
+                ]
+            )
+        finally:
+            self._refreshing = False
+
+
+def _text_or_none(value) -> str | None:
+    return None if value is None else str(value)
+
+
+def _int_or_none(value) -> int | None:
+    return None if value is None else int(value)

@@ -15,16 +15,27 @@ from repro.poolral.ral import PoolRAL
 
 
 class PoolRALWrapper:
-    """Exactly the JNI surface: two methods, 2-D arrays out."""
+    """Exactly the JNI surface: two methods, 2-D arrays out.
 
-    def __init__(self, ral: PoolRAL):
+    Optionally carries a tracer and metrics registry so calls through
+    the JNI facade show up in the owning server's telemetry.
+    """
+
+    def __init__(self, ral: PoolRAL, tracer=None, metrics=None):
         self._ral = ral
+        self.tracer = tracer
+        self.metrics = metrics
+
+    def _count(self, name: str, n: float = 1.0) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(n)
 
     def initialize_handler(
         self, connection_string: str, user: str = "grid", password: str = "grid"
     ) -> bool:
         """Initialize a service handle for a new database (method 1)."""
         self._ral.initialize(connection_string, user, password)
+        self._count("poolral.handles_initialized")
         return True
 
     def execute(
@@ -45,5 +56,17 @@ class PoolRALWrapper:
         sql = f"SELECT {', '.join(select_fields)} FROM {', '.join(table_names)}"
         if where_clause.strip():
             sql += f" WHERE {where_clause}"
-        cursor = self._ral.execute_sql(connection_string, sql)
-        return [list(row) for row in cursor.fetchall()]
+        from repro.obs.trace import NOOP_SPAN
+
+        span = (
+            self.tracer.span("poolral_execute", tables=",".join(table_names))
+            if self.tracer is not None
+            else NOOP_SPAN
+        )
+        with span:
+            cursor = self._ral.execute_sql(connection_string, sql)
+            rows = [list(row) for row in cursor.fetchall()]
+            span.set("rows", len(rows))
+        self._count("poolral.executes")
+        self._count("poolral.rows", len(rows))
+        return rows

@@ -9,7 +9,16 @@ from repro.rls.server import RLSServer
 
 
 class RLSClient:
-    """Talks to the central RLS server from one grid host."""
+    """Talks to the central RLS server from one grid host.
+
+    The owning data access service may attach a ``tracer`` and a
+    ``metrics`` registry; lookups then carry spans and hit/miss
+    counters. Both default to off at class level, so a bare client
+    stays allocation-free.
+    """
+
+    tracer = None
+    metrics = None
 
     def __init__(self, host: str, network: Network, clock: SimClock, server: RLSServer):
         self.host = host
@@ -17,12 +26,17 @@ class RLSClient:
         self.clock = clock
         self.server = server
 
+    def _count(self, name: str, n: float = 1.0) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(n)
+
     def publish(self, logical_table: str, server_url: str) -> None:
         request = payload_bytes("rls.publish", [logical_table, server_url])
         self.network.transfer(self.host, self.server.host, request, self.clock)
         self.server.publish(logical_table, server_url)
         ack = payload_bytes("rls.publish", True)
         self.network.transfer(self.server.host, self.host, ack, self.clock)
+        self._count("rls.publishes")
 
     def publish_many(self, tables: list[str], server_url: str) -> None:
         """Bulk publication used at service startup (one message)."""
@@ -32,11 +46,23 @@ class RLSClient:
             self.server.publish(table, server_url)
         ack = payload_bytes("rls.publish_many", True)
         self.network.transfer(self.server.host, self.host, ack, self.clock)
+        self._count("rls.publishes", len(tables))
 
     def lookup(self, logical_table: str) -> list[str]:
-        request = payload_bytes("rls.lookup", logical_table)
-        self.network.transfer(self.host, self.server.host, request, self.clock)
-        urls = self.server.lookup(logical_table)
-        response = payload_bytes("rls.lookup", urls)
-        self.network.transfer(self.server.host, self.host, response, self.clock)
+        from repro.obs.trace import NOOP_SPAN
+
+        span = (
+            self.tracer.span("rls_wire", table=logical_table)
+            if self.tracer is not None and self.tracer.active is not None
+            else NOOP_SPAN
+        )
+        with span:
+            request = payload_bytes("rls.lookup", logical_table)
+            self.network.transfer(self.host, self.server.host, request, self.clock)
+            urls = self.server.lookup(logical_table)
+            response = payload_bytes("rls.lookup", urls)
+            self.network.transfer(self.server.host, self.host, response, self.clock)
+            span.set("replicas", len(urls))
+        self._count("rls.lookups")
+        self._count("rls.hits" if urls else "rls.misses")
         return urls

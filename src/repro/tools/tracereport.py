@@ -1,0 +1,245 @@
+"""Trace/metrics report CLI: ``python -m repro.tools.tracereport``.
+
+Builds the built-in two-server observed federation, runs a distributed
+query plus a self-querying monitor query, and reports the resulting
+span tree and metrics summary — the quickest way to *see* what the
+observability layer records::
+
+    python -m repro.tools.tracereport              # human-readable report
+    python -m repro.tools.tracereport --json       # machine-readable report
+    python -m repro.tools.tracereport --json --out BENCH_federation.json
+    python -m repro.tools.tracereport --self-test  # fixture-free CI gate
+
+The ``--json`` form is what the benchmark suite uses to emit its
+``BENCH_federation.json`` artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core.federation import GridFederation
+from repro.engine.database import Database
+from repro.obs.trace import Span, format_span_tree
+
+#: the distributed query the demo federation runs (events on server A,
+#: runs on server B — so executing it on A forces an RLS lookup and a
+#: remote Clarens hop)
+DEMO_SQL = (
+    "SELECT e.energy, r.detector FROM events e "
+    "INNER JOIN runs r ON e.run_id = r.run_id WHERE r.good = 1"
+)
+
+MONITOR_SQL = "SELECT COUNT(*) FROM monitor_spans"
+
+
+def _events_db(n_events: int = 10) -> Database:
+    db = Database("mart_mysql", "mysql")
+    db.execute(
+        "CREATE TABLE EVT (EVENT_ID INT PRIMARY KEY, RUN_ID INT, "
+        "ENERGY DOUBLE, TAG VARCHAR(8))"
+    )
+    for i in range(n_events):
+        tag = "hot" if i % 2 else "cold"
+        db.execute(f"INSERT INTO EVT VALUES ({i}, {i % 3}, {i * 1.5}, '{tag}')")
+    return db
+
+
+def _runs_db() -> Database:
+    db = Database("mart_mssql", "mssql")
+    db.execute(
+        "CREATE TABLE RUN_INFO (RUN_ID INT PRIMARY KEY, DETECTOR NVARCHAR(20), "
+        "GOOD INT)"
+    )
+    for i, (det, good) in enumerate([("cms", 1), ("atlas", 1), ("lhcb", 0)]):
+        db.execute(f"INSERT INTO RUN_INFO VALUES ({i}, '{det}', {good})")
+    return db
+
+
+def build_observed_federation():
+    """Two observing JClarens servers, one database each.
+
+    Returns ``(federation, handle_a, handle_b)``; ``events`` lives on
+    server A, ``runs`` on server B, and both servers publish their
+    monitor tables to the RLS.
+    """
+    fed = GridFederation()
+    a = fed.create_server("jclarens-a", "tier2a.cern.ch", observe=True)
+    b = fed.create_server("jclarens-b", "tier2b.caltech.edu", observe=True)
+    fed.attach_database(a, _events_db(), logical_names={"EVT": "events"})
+    fed.attach_database(b, _runs_db(), logical_names={"RUN_INFO": "runs"})
+    return fed, a, b
+
+
+def build_report() -> dict:
+    """Run the demo workload and assemble the full telemetry report."""
+    fed, a, b = build_observed_federation()
+    service = a.service
+    answer = service.execute(DEMO_SQL)
+    trace_id = service.tracer.last_trace_id
+    spans = service.tracer.spans_for(trace_id)
+    query_rec = service.tracer.queries[-1]
+
+    monitor = service.execute(MONITOR_SQL)
+    monitor_span_count = int(monitor.rows[0][0])
+
+    return {
+        "trace_id": trace_id,
+        "sql": DEMO_SQL,
+        "rows": answer.row_count,
+        "distributed": answer.distributed,
+        "servers_accessed": answer.servers_accessed,
+        "total_ms": round(query_rec.duration_ms, 3),
+        "spans": [s.as_dict() for s in spans],
+        "tree": format_span_tree(spans),
+        "metrics": {
+            "jclarens-a": service.metrics.as_dict(),
+            "jclarens-b": b.service.metrics.as_dict(),
+        },
+        "monitor_span_count": monitor_span_count,
+        "monitor_sql": MONITOR_SQL,
+    }
+
+
+def _print_human(report: dict) -> None:
+    print(f"trace {report['trace_id']}  ({report['total_ms']} ms simulated)")
+    print(f"query: {report['sql']}")
+    print(
+        f"rows={report['rows']} distributed={report['distributed']} "
+        f"servers={report['servers_accessed']}"
+    )
+    print()
+    for line in report["tree"]:
+        print(line)
+    print()
+    print(f"{report['monitor_sql']!r} -> {report['monitor_span_count']} spans")
+    print()
+    for server, metrics in report["metrics"].items():
+        print(f"[{server}]")
+        for name, value in metrics["counters"].items():
+            print(f"  counter   {name:30} {value:g}")
+        for name, stats in metrics["histograms"].items():
+            print(
+                f"  histogram {name:30} count={stats['count']:g} "
+                f"p50={stats['p50']:g} p95={stats['p95']:g} p99={stats['p99']:g}"
+            )
+
+
+def _self_test() -> int:
+    """Fixture-free sanity gate over the whole observability stack."""
+    report = build_report()
+    spans = [Span.from_dict(d) for d in report["spans"]]
+    by_stage: dict[str, list[Span]] = {}
+    for span in spans:
+        by_stage.setdefault(span.stage, []).append(span)
+    roots = [s for s in spans if s.parent_id is None]
+    root = roots[0] if roots else None
+    ids = {s.span_id for s in spans}
+    counters_a = report["metrics"]["jclarens-a"]["counters"]
+    hist_a = report["metrics"]["jclarens-a"]["histograms"]
+
+    checks = [
+        (
+            "one root span, and it is the query stage",
+            len(roots) == 1 and roots[0].stage == "query",
+        ),
+        ("decompose span present", "decompose" in by_stage),
+        ("rls_lookup span present", "rls_lookup" in by_stage),
+        ("merge span present", "merge" in by_stage),
+        ("two subquery spans", len(by_stage.get("subquery", [])) >= 2),
+        ("transfer spans present", "transfer" in by_stage),
+        (
+            "remote server's spans joined the trace",
+            any(s.server == "jclarens-b" for s in spans),
+        ),
+        (
+            "every span belongs to the one trace",
+            all(s.trace_id == report["trace_id"] for s in spans),
+        ),
+        (
+            "every non-root parent id resolves",
+            all(
+                s.parent_id in ids
+                for s in spans
+                if s is not root and s.parent_id is not None
+            ),
+        ),
+        (
+            "child spans sit inside the root's interval",
+            root is not None
+            and all(
+                s.start_ms >= root.start_ms - 1e-9
+                and (s.end_ms or s.start_ms) <= (root.end_ms or 0) + 1e-9
+                for s in spans
+                if s is not root and s.server == "jclarens-a"
+            ),
+        ),
+        (
+            "root duration equals the reported total",
+            root is not None
+            and abs(root.duration_ms - report["total_ms"]) < 1e-3,
+        ),
+        ("distributed answer", bool(report["distributed"])),
+        (
+            "monitor_spans sees the finished trace",
+            report["monitor_span_count"] >= len(spans),
+        ),
+        ("queries counter incremented", counters_a.get("queries", 0) >= 1),
+        ("query_ms histogram fed", hist_a.get("query_ms", {}).get("count", 0) >= 1),
+        (
+            "remote route counted",
+            counters_a.get("subqueries.remote", 0) >= 1,
+        ),
+    ]
+    failed = 0
+    for name, ok in checks:
+        if ok:
+            print(f"ok    {name}")
+        else:
+            failed += 1
+            print(f"FAIL  {name}")
+    if failed:
+        print(f"self-test: {failed} of {len(checks)} checks failed")
+        return 1
+    print(f"self-test: all {len(checks)} checks passed")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.tracereport",
+        description="span-tree and metrics report for the demo federation",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    parser.add_argument(
+        "--out", metavar="FILE", help="write the report to FILE instead of stdout"
+    )
+    parser.add_argument(
+        "--self-test", action="store_true",
+        help="run the built-in observability checks and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return _self_test()
+
+    report = build_report()
+    if args.json:
+        text = json.dumps(report, indent=2, sort_keys=True)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            print(f"wrote {args.out}", file=sys.stderr)
+        else:
+            print(text)
+        return 0
+    _print_human(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,7 +27,13 @@ from repro.unity.merge import Integrator
 
 @dataclass
 class SubQueryTrace:
-    """What happened to one sub-query (exposed to tests and benches)."""
+    """What happened to one sub-query (exposed to tests and benches).
+
+    ``start_ms``/``end_ms`` are simulated-clock stamps around the
+    runner call; ``replica_host`` is the host that actually served the
+    sub-query (after replica selection or failover), filled in by the
+    data access service when it knows better than the plan did.
+    """
 
     binding: str
     database: str
@@ -36,6 +42,14 @@ class SubQueryTrace:
     sql: str
     rows: int
     via: str  # 'jdbc' | 'pool' | 'remote'
+    start_ms: float = 0.0
+    end_ms: float = 0.0
+    replica_host: str | None = None
+
+    @property
+    def duration_ms(self) -> float:
+        """Simulated time the sub-query took, fetch included."""
+        return self.end_ms - self.start_ms
 
 
 @dataclass
@@ -78,28 +92,38 @@ def execute_plan(
     clock=None,
 ) -> FederatedResult:
     """Run every sub-query through ``runner`` and integrate."""
+
+    def now() -> float:
+        return clock.now_ms if clock is not None else 0.0
+
     traces: list[SubQueryTrace] = []
     if plan.kind == "single":
         sub = plan.subqueries[0]
+        t0 = now()
         columns, types, rows, via = runner(sub, params)
+        t1 = now()
         columns = _logicalize_columns(columns, sub)
         if sub.select.limit is not None:
             vendor_dialect = get_dialect(sub.location.vendor)
             if vendor_dialect.limit_applied_client_side:
                 rows = rows[: sub.select.limit]
-        traces.append(_trace(sub, len(rows), via))
+        traces.append(_trace(sub, len(rows), via, t0, t1))
         return FederatedResult(columns, types, list(rows), plan, traces)
 
     sub_results: dict[str, tuple[list[str], list[SQLType], list[tuple]]] = {}
     for sub in plan.subqueries:
+        t0 = now()
         columns, types, rows, via = runner(sub, params)
+        t1 = now()
         sub_results[sub.binding] = (columns, types, rows)
-        traces.append(_trace(sub, len(rows), via))
+        traces.append(_trace(sub, len(rows), via, t0, t1))
     result = Integrator(clock).integrate(plan, sub_results, params)
     return FederatedResult(result.columns, result.types, result.rows, plan, traces)
 
 
-def _trace(sub: SubQuery, rows: int, via: str) -> SubQueryTrace:
+def _trace(
+    sub: SubQuery, rows: int, via: str, start_ms: float, end_ms: float
+) -> SubQueryTrace:
     return SubQueryTrace(
         binding=sub.binding,
         database=sub.location.database_name,
@@ -108,6 +132,8 @@ def _trace(sub: SubQuery, rows: int, via: str) -> SubQueryTrace:
         sql=sub.sql,
         rows=rows,
         via=via,
+        start_ms=start_ms,
+        end_ms=end_ms,
     )
 
 
@@ -133,6 +159,7 @@ class UnityDriver:
         user: str = "grid",
         password: str = "grid",
         preflight: bool = False,
+        observe: bool = False,
     ):
         self.dictionary = dictionary
         self.directory = directory
@@ -143,6 +170,21 @@ class UnityDriver:
         self.user = user
         self.password = password
         self.preflight = preflight
+        from repro.obs.metrics import MetricsRegistry
+
+        self.metrics = MetricsRegistry()
+        self.tracer = None
+        if observe:
+            from repro.obs.trace import Tracer
+
+            self.tracer = Tracer(clock, host or "unity")
+
+    def _span(self, stage: str, **attrs):
+        if self.tracer is None:
+            from repro.obs.trace import NOOP_SPAN
+
+            return NOOP_SPAN
+        return self.tracer.span(stage, **attrs)
 
     # -- cost plumbing -----------------------------------------------------------
 
@@ -163,24 +205,30 @@ class UnityDriver:
         self, sub: SubQuery, params: tuple
     ) -> tuple[list[str], list[SQLType], list[tuple], str]:
         """Fresh connection per (query, database), like the prototype."""
-        dialect = get_dialect(sub.location.vendor)
-        connection = connect(
-            sub.location.url,
-            self.user,
-            self.password,
-            directory=self.directory,
-            clock=self.clock,
-        )
-        try:
-            vendor_sql = dialect.render_select(sub.select)
-            cursor = connection.execute(vendor_sql, params)
-            rows = cursor.fetchall()
-            types = cursor.types or [SQLType.text()] * len(cursor.columns)
-            columns = cursor.columns
-        finally:
-            connection.close()
-        binding = self.directory.lookup(sub.location.url)
-        self._transfer_rows(binding.host_name, rows)
+        with self._span(
+            "subquery", binding=sub.binding, database=sub.location.database_name
+        ) as span:
+            dialect = get_dialect(sub.location.vendor)
+            connection = connect(
+                sub.location.url,
+                self.user,
+                self.password,
+                directory=self.directory,
+                clock=self.clock,
+            )
+            try:
+                vendor_sql = dialect.render_select(sub.select)
+                cursor = connection.execute(vendor_sql, params)
+                rows = cursor.fetchall()
+                types = cursor.types or [SQLType.text()] * len(cursor.columns)
+                columns = cursor.columns
+            finally:
+                connection.close()
+            binding = self.directory.lookup(sub.location.url)
+            self._transfer_rows(binding.host_name, rows)
+            self.metrics.counter("subqueries.jdbc").inc()
+            self.metrics.counter("rows_moved").inc(len(rows))
+            span.set("route", "jdbc").set("rows", len(rows))
         return columns, types, rows, "jdbc"
 
     # -- public API -------------------------------------------------------------------
@@ -220,5 +268,13 @@ class UnityDriver:
         params: tuple = (),
         prefer_databases: dict[str, str] | None = None,
     ) -> FederatedResult:
-        plan = self.plan(sql, prefer_databases)
-        return execute_plan(plan, self.run_subquery, params, self.clock)
+        start_ms = self.clock.now_ms if self.clock is not None else 0.0
+        with self._span("query") as span:
+            with self._span("decompose"):
+                plan = self.plan(sql, prefer_databases)
+            result = execute_plan(plan, self.run_subquery, params, self.clock)
+            span.set("rows", len(result.rows))
+        self.metrics.counter("queries").inc()
+        if self.clock is not None:
+            self.metrics.histogram("query_ms").observe(self.clock.now_ms - start_ms)
+        return result

@@ -126,6 +126,8 @@ class ETLPipeline:
         target_host: str,
         commit_every: int = costs.WAREHOUSE_COMMIT_EVERY,
         autocommit: bool = False,
+        tracer=None,
+        metrics=None,
     ):
         self.network = network
         self.clock = clock
@@ -133,16 +135,40 @@ class ETLPipeline:
         self.target_host = target_host
         self.commit_every = commit_every
         self.autocommit = autocommit
+        self.tracer = tracer
+        self.metrics = metrics
         self.reports: list[ETLReport] = []
         #: target table -> highest watermark value shipped so far
         self.watermarks: dict[str, object] = {}
         self._last_loaded_columns: list[str] = []
         self._last_loaded_rows: list[tuple] = []
 
+    # -- observability plumbing ----------------------------------------------------
+
+    def _span(self, stage: str, **attrs):
+        if self.tracer is None:
+            from repro.obs.trace import NOOP_SPAN
+
+            return NOOP_SPAN
+        return self.tracer.span(stage, **attrs)
+
+    def _count(self, name: str, n: float = 1.0) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(n)
+
     # -- phase 1: extraction -------------------------------------------------------
 
     def _extract(self, job: ETLJob, staging: StagingFile | None):
         """Query + stream out + transform (+ stage). Returns (cols, rows)."""
+        with self._span("etl_extract", table=job.target_table) as span:
+            columns, rows = self._extract_inner(job, staging)
+            span.set("rows", len(rows))
+        if staging is not None:
+            self._count("etl.rows_staged", len(rows))
+            self._count("etl.bytes_staged", staging.nbytes)
+        return columns, rows
+
+    def _extract_inner(self, job: ETLJob, staging: StagingFile | None):
         # Opening the stream for the extraction SQL statement (§5.1 counts
         # connect/open/close time into the transfer time).
         self.clock.advance_ms(costs.STREAM_OPEN_CLOSE_MS)
@@ -170,6 +196,12 @@ class ETLPipeline:
 
     def _load(self, columns: list[str], rows: list[tuple], job: ETLJob) -> None:
         """Stream rows into the target as per-row INSERTs."""
+        with self._span("etl_load", table=job.target_table) as span:
+            self._load_inner(columns, rows, job)
+            span.set("rows", len(rows))
+        self._count("etl.rows_loaded", len(rows))
+
+    def _load_inner(self, columns: list[str], rows: list[tuple], job: ETLJob) -> None:
         dialect = get_dialect(self.target.vendor)
         self.clock.advance_ms(costs.STREAM_OPEN_CLOSE_MS)
         target_columns = job.target_columns or columns

@@ -1,0 +1,209 @@
+"""Metrics registry: instruments, percentiles, stats() as a thin view."""
+
+import pytest
+
+from repro.clarens.codec import decode_payload, encode_payload
+from repro.core import GridFederation
+from repro.engine import Database
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_monotonic(self):
+        reg = MetricsRegistry()
+        reg.counter("queries").inc()
+        reg.counter("queries").inc(2)
+        assert reg.counter("queries").value == 3
+        with pytest.raises(ValueError):
+            reg.counter("queries").inc(-1)
+
+    def test_gauge_sets(self):
+        reg = MetricsRegistry()
+        reg.gauge("pool_size").set(7)
+        reg.gauge("pool_size").set(4)
+        assert reg.gauge("pool_size").value == 4.0
+
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+
+
+class TestHistogramPercentiles:
+    def test_nearest_rank_on_known_distribution(self):
+        h = Histogram("ms")
+        for v in range(1, 101):  # 1..100
+            h.observe(v)
+        assert h.p50 == 50
+        assert h.p95 == 95
+        assert h.p99 == 99
+        assert h.percentile(100) == 100
+        assert h.min == 1 and h.max == 100
+        assert h.mean == pytest.approx(50.5)
+
+    def test_single_observation(self):
+        h = Histogram("ms")
+        h.observe(42.0)
+        assert h.p50 == h.p95 == h.p99 == 42.0
+
+    def test_empty_histogram_is_zero(self):
+        h = Histogram("ms")
+        assert h.p99 == 0.0
+        assert h.stats()["count"] == 0.0
+
+    def test_invalid_percentile_raises(self):
+        h = Histogram("ms")
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+
+class TestWireSafety:
+    def test_snapshot_survives_the_codec(self):
+        reg = MetricsRegistry()
+        reg.counter("queries").inc(3)
+        reg.gauge("pool").set(2)
+        reg.histogram("query_ms").observe(12.5)
+        method, decoded = decode_payload(
+            encode_payload("dataaccess.metrics", reg.as_dict())
+        )
+        assert decoded["counters"]["queries"] == 3.0
+        assert decoded["gauges"]["pool"] == 2.0
+        assert decoded["histograms"]["query_ms"]["p50"] == 12.5
+
+    def test_registry_is_callable(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        assert reg() == reg.as_dict()
+
+
+class TestStatsView:
+    """The ad-hoc stats() counters are now views over the registry."""
+
+    @pytest.fixture
+    def federation(self):
+        fed = GridFederation()
+        server = fed.create_server("jc1", "pc1")
+        db = Database("mart", "mysql")
+        db.execute("CREATE TABLE EVT (EVENT_ID INT PRIMARY KEY)")
+        db.execute("INSERT INTO EVT VALUES (1)")
+        fed.attach_database(server, db, logical_names={"EVT": "events"})
+        return fed, server
+
+    def test_queries_served_tracks_registry(self, federation):
+        fed, server = federation
+        service = server.service
+        service.execute("SELECT COUNT(*) FROM events")
+        service.execute("SELECT COUNT(*) FROM events")
+        assert service.queries_served == 2
+        assert service.metrics.counter("queries").value == 2
+        assert service.stats()["queries_served"] == 2
+
+    def test_failed_query_not_counted_as_served(self, federation):
+        fed, server = federation
+        service = server.service
+        with pytest.raises(Exception):
+            service.execute("SELECT COUNT(*) FROM nope", no_forward=True)
+        assert service.queries_served == 0
+
+    def test_remote_fetches_counted(self):
+        """PR fix: remote fetches used to be invisible in stats()."""
+        fed = GridFederation()
+        a = fed.create_server("jc-a", "pc-a")
+        b = fed.create_server("jc-b", "pc-b")
+        db = Database("mart", "mysql")
+        db.execute("CREATE TABLE EVT (EVENT_ID INT PRIMARY KEY)")
+        db.execute("INSERT INTO EVT VALUES (1)")
+        fed.attach_database(b, db, logical_names={"EVT": "events"})
+        answer = a.service.execute("SELECT COUNT(*) FROM events")
+        assert answer.rows == [(1,)]
+        stats = a.service.stats()
+        assert stats["remote_fetches"] == 1
+        assert stats["routes"]["remote"] == 1
+
+    def test_route_counts_is_registry_view(self, federation):
+        fed, server = federation
+        server.service.execute("SELECT COUNT(*) FROM events")
+        router = server.service.router
+        assert router.route_counts["pool"] == 1
+        assert (
+            router.route_counts["pool"]
+            == server.service.metrics.counter("subqueries.pool").value
+        )
+
+    def test_stats_remain_wire_safe(self, federation):
+        fed, server = federation
+        server.service.execute("SELECT COUNT(*) FROM events")
+        client = fed.client("laptop")
+        stats = client.call(server.server, "dataaccess.stats")
+        assert stats["queries_served"] == 1
+        assert stats["failovers"] == 0
+        assert stats["rows_returned"] == 1
+
+
+class TestPipelineInstruments:
+    def test_etl_counters_and_spans(self):
+        from repro.net import Network, SimClock
+        from repro.obs.trace import Tracer
+        from repro.warehouse.etl import ETLJob, ETLPipeline
+
+        clock = SimClock()
+        net = Network()
+        net.add_host("src_host")
+        net.add_host("wh_host")
+        source = Database("src", "mysql")
+        source.execute("CREATE TABLE T (A INT PRIMARY KEY, B DOUBLE)")
+        for i in range(6):
+            source.execute(f"INSERT INTO T VALUES ({i}, {i * 0.5})")
+        target = Database("wh", "mysql")
+        target.execute("CREATE TABLE T2 (A INT PRIMARY KEY, B DOUBLE)")
+        metrics = MetricsRegistry()
+        tracer = Tracer(clock, "etl")
+        pipeline = ETLPipeline(
+            net, clock, target, "wh_host", tracer=tracer, metrics=metrics
+        )
+        report = pipeline.run(
+            ETLJob(source=source, source_host="src_host",
+                   query="SELECT a, b FROM t", target_table="T2")
+        )
+        assert report.rows == 6
+        assert metrics.counter("etl.rows_staged").value == 6
+        assert metrics.counter("etl.rows_loaded").value == 6
+        assert metrics.counter("etl.bytes_staged").value == report.staged_bytes
+        stages = [s.stage for s in tracer.spans]
+        assert stages == ["etl_extract", "etl_load"]
+        extract, load = tracer.spans
+        assert extract.duration_ms == pytest.approx(report.extraction_ms)
+        assert extract.attrs["rows"] == 6
+
+    def test_poolral_wrapper_counters_and_span(self):
+        from repro.driver import Directory
+        from repro.net import SimClock
+        from repro.obs.trace import Tracer
+        from repro.poolral.ral import PoolRAL
+        from repro.poolral.wrapper import PoolRALWrapper
+
+        clock = SimClock()
+        directory = Directory()
+        db = Database("mart", "mysql")
+        db.execute("CREATE TABLE T (A INT PRIMARY KEY)")
+        db.execute("INSERT INTO T VALUES (1)")
+        db.execute("INSERT INTO T VALUES (2)")
+        url = "jdbc:mysql://pc1:3306/mart"
+        directory.register(url, db, host_name="pc1")
+        metrics = MetricsRegistry()
+        tracer = Tracer(clock, "jni")
+        wrapper = PoolRALWrapper(
+            PoolRAL(directory, clock), tracer=tracer, metrics=metrics
+        )
+        wrapper.initialize_handler(url)
+        rows = wrapper.execute(url, ["A"], ["T"])
+        assert rows == [[1], [2]]
+        assert metrics.counter("poolral.handles_initialized").value == 1
+        assert metrics.counter("poolral.executes").value == 1
+        assert metrics.counter("poolral.rows").value == 2
+        span = tracer.spans[0]
+        assert span.stage == "poolral_execute"
+        assert span.attrs["rows"] == 2

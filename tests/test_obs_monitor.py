@@ -1,0 +1,121 @@
+"""R-GMA-style monitor tables: telemetry answered with federated SQL."""
+
+import pytest
+
+from repro.core import GridFederation
+from repro.engine import Database
+from repro.lint import DictionarySchema, lint_sql
+from repro.obs.monitor import MONITOR_TABLES
+
+
+def make_events_db(name="mart", n=5):
+    db = Database(name, "mysql")
+    db.execute("CREATE TABLE EVT (EVENT_ID INT PRIMARY KEY, ENERGY DOUBLE)")
+    for i in range(n):
+        db.execute(f"INSERT INTO EVT VALUES ({i}, {i * 2.0})")
+    return db
+
+
+@pytest.fixture
+def observed():
+    fed = GridFederation()
+    server = fed.create_server("jc1", "pc1", observe=True)
+    fed.attach_database(server, make_events_db(), logical_names={"EVT": "events"})
+    return fed, server
+
+
+class TestSelfQuerying:
+    def test_monitor_spans_through_the_federation(self, observed):
+        fed, server = observed
+        server.service.execute("SELECT COUNT(*) FROM events")
+        finished = len(server.service.tracer.spans)
+        answer = server.service.execute("SELECT COUNT(*) FROM monitor_spans")
+        assert answer.rows[0][0] >= finished
+
+    def test_span_rows_query_by_stage(self, observed):
+        fed, server = observed
+        server.service.execute("SELECT COUNT(*) FROM events")
+        answer = server.service.execute(
+            "SELECT COUNT(*) FROM monitor_spans WHERE stage = 'subquery'"
+        )
+        assert answer.rows[0][0] == 1
+        answer = server.service.execute(
+            "SELECT COUNT(*) FROM monitor_spans WHERE duration_ms < 0"
+        )
+        assert answer.rows[0][0] == 0
+
+    def test_monitor_metrics_rows(self, observed):
+        fed, server = observed
+        server.service.execute("SELECT COUNT(*) FROM events")
+        answer = server.service.execute(
+            "SELECT value FROM monitor_metrics "
+            "WHERE metric = 'queries' AND kind = 'counter'"
+        )
+        assert answer.rows == [(1.0,)]
+
+    def test_monitor_queries_status(self, observed):
+        fed, server = observed
+        server.service.execute("SELECT COUNT(*) FROM events")
+        answer = server.service.execute(
+            "SELECT status, distributed FROM monitor_queries"
+        )
+        assert ("ok", 0) in answer.rows
+
+    def test_failed_query_lands_in_monitor_queries(self, observed):
+        fed, server = observed
+        with pytest.raises(Exception):
+            server.service.execute("SELECT COUNT(*) FROM nope", no_forward=True)
+        answer = server.service.execute(
+            "SELECT COUNT(*) FROM monitor_queries WHERE status <> 'ok'"
+        )
+        assert answer.rows[0][0] == 1
+
+
+class TestRemoteMonitorAccess:
+    def test_peer_queries_anothers_monitor_tables(self):
+        """A non-observing peer reaches an observer's telemetry via RLS."""
+        fed = GridFederation()
+        observer = fed.create_server("jc-obs", "pc1", observe=True)
+        plain = fed.create_server("jc-plain", "pc2")
+        fed.attach_database(
+            observer, make_events_db(), logical_names={"EVT": "events"}
+        )
+        observer.service.execute("SELECT COUNT(*) FROM events")
+        finished = len(observer.service.tracer.spans)
+        answer = plain.service.execute("SELECT COUNT(*) FROM monitor_spans")
+        assert answer.distributed is False
+        assert answer.routes == ["remote"]
+        assert answer.rows[0][0] >= finished
+
+    def test_monitor_tables_published_to_rls(self):
+        fed = GridFederation()
+        fed.create_server("jc-obs", "pc1", observe=True)
+        for table in MONITOR_TABLES:
+            assert fed.rls_server.lookup(table)
+
+
+class TestMonitorSchema:
+    def test_monitor_queries_lint_clean(self, observed):
+        """The monitor DDL plays by the same rules as any federated table."""
+        fed, server = observed
+        schema = DictionarySchema(server.service.dictionary)
+        for sql in (
+            "SELECT stage, AVG(duration_ms) FROM monitor_spans GROUP BY stage",
+            "SELECT metric, value FROM monitor_metrics WHERE stat = 'p95'",
+            "SELECT sql_text, duration_ms FROM monitor_queries "
+            "WHERE duration_ms > 10.0",
+        ):
+            report = lint_sql(sql, schema)
+            assert report.ok, f"{sql!r}: {[str(d) for d in report]}"
+
+    def test_all_three_tables_registered(self, observed):
+        fed, server = observed
+        for table in MONITOR_TABLES:
+            assert server.service.dictionary.has_table(table)
+
+    def test_refresh_guard_prevents_recursion(self, observed):
+        fed, server = observed
+        monitor = server.service.monitor
+        # a refresh while refreshing must not re-enter (or deadlock)
+        monitor.refresh()
+        assert monitor._refreshing is False

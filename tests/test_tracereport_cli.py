@@ -1,0 +1,43 @@
+"""The tracereport CLI: human tree, JSON artifact, self-test gate."""
+
+import json
+
+from repro.tools.tracereport import build_report, main
+
+
+class TestTraceReportCLI:
+    def test_human_report(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "trace jclarens-a-t1" in out
+        assert "├─" in out and "└─" in out
+        assert "monitor_spans" in out
+        assert "histogram query_ms" in out
+
+    def test_json_report(self, capsys):
+        assert main(["--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        for key in (
+            "trace_id", "spans", "tree", "metrics", "total_ms",
+            "monitor_span_count",
+        ):
+            assert key in report
+        assert report["distributed"] is True
+        assert report["servers_accessed"] == 2
+
+    def test_json_out_file(self, tmp_path, capsys):
+        target = tmp_path / "BENCH_federation.json"
+        assert main(["--json", "--out", str(target)]) == 0
+        report = json.loads(target.read_text())
+        assert report["rows"] == 7
+        assert len(report["spans"]) == len(report["tree"])
+
+    def test_self_test_passes(self, capsys):
+        assert main(["--self-test"]) == 0
+        out = capsys.readouterr().out
+        assert "all" in out and "passed" in out
+
+    def test_report_is_deterministic(self):
+        first = build_report()
+        second = build_report()
+        assert first == second
