@@ -1,0 +1,53 @@
+"""Per-database cache epochs — the invalidation clock of `repro.cache`.
+
+The paper's §4.9 schema tracker already answers *when did database X
+change*: it regenerates the XSpec and compares size, then md5. We turn
+that binary signal (plus the ETL/mart data-refresh events the paper's
+warehouse pipeline produces) into a monotonically increasing **epoch**
+per database. Cache keys embed the epoch of every database they depend
+on, so an epoch bump makes all dependent entries unreachable instantly;
+subscribers additionally flush the dead entries eagerly so the byte
+budget is returned.
+
+``generation`` is the global change counter (bumped on *any* database's
+epoch bump); the remote-answer cache checks it because an origin server
+cannot see a remote peer's per-database epochs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+class EpochRegistry:
+    """Monotonic per-database change counters with bump subscriptions."""
+
+    def __init__(self) -> None:
+        self._epochs: dict[str, int] = {}
+        #: global change counter: increases on every bump of any database
+        self.generation = 0
+        self._subscribers: list[Callable[[str], None]] = []
+
+    def epoch(self, database: str) -> int:
+        """Current epoch of ``database`` (0 for a never-bumped one)."""
+        return self._epochs.get(database, 0)
+
+    def bump(self, database: str) -> int:
+        """Advance ``database``'s epoch; notifies every subscriber."""
+        new = self._epochs.get(database, 0) + 1
+        self._epochs[database] = new
+        self.generation += 1
+        for callback in self._subscribers:
+            callback(database)
+        return new
+
+    def subscribe(self, callback: Callable[[str], None]) -> None:
+        """``callback(database)`` fires after every epoch bump."""
+        self._subscribers.append(callback)
+
+    def as_dict(self) -> dict:
+        """Wire-safe snapshot: per-database epochs + global generation."""
+        return {
+            "generation": self.generation,
+            "epochs": {name: e for name, e in sorted(self._epochs.items())},
+        }

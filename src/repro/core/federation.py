@@ -62,6 +62,11 @@ class GridFederation:
         self._servers_by_name: dict[str, ServerHandle] = {}
         self._clients: dict[str, ClarensClient] = {}
         self._db_counter = 0
+        #: shared per-database epoch registry, created lazily by the
+        #: first ``create_server(cache=True)`` — every caching server in
+        #: the federation sees the same epochs, so an ETL refresh on one
+        #: server invalidates cached sub-results everywhere
+        self.epochs = None
 
     # -- topology -----------------------------------------------------------------
 
@@ -80,6 +85,7 @@ class GridFederation:
         jdbc_pooling: bool = False,
         preflight: bool = False,
         observe: bool = False,
+        cache: bool = False,
     ) -> ServerHandle:
         """Start a JClarens server with a data access service on ``host``.
 
@@ -87,8 +93,16 @@ class GridFederation:
         its R-GMA-style monitor tables (``monitor_spans`` etc.) as an
         ordinary federated database, so telemetry is queryable with
         plain SQL — locally or from any peer via the RLS.
+
+        With ``cache=True`` the service gets the multi-level query cache
+        (:mod:`repro.cache`), wired to the federation-wide epoch
+        registry so invalidation events propagate across servers.
         """
         self.add_host(host, tier)
+        if cache and self.epochs is None:
+            from repro.cache import EpochRegistry
+
+            self.epochs = EpochRegistry()
         server = ClarensServer(name, host, self.network, self.clock)
         rls_client = RLSClient(host, self.network, self.clock, self.rls_server)
         service = DataAccessService(
@@ -102,6 +116,8 @@ class GridFederation:
             jdbc_pooling=jdbc_pooling,
             preflight=preflight,
             observe=observe,
+            cache=cache,
+            epochs=self.epochs,
         )
         server.register_service(service)
         # server-side histogramming rides alongside the data access service

@@ -53,6 +53,10 @@ class SubQueryRouter:
         #: optional ConnectionPool: reuse JDBC connections instead of the
         #: prototype's connect-per-query behaviour (the pooling ablation)
         self.jdbc_pool = jdbc_pool
+        #: set per-query by a caching service on a plan-cache hit: the
+        #: participants' XSpec metadata was parsed when the plan was
+        #: cached, so the JDBC path must not re-pay UNITY_METADATA_PARSE_MS
+        self.metadata_cached = False
         if metrics is None:
             from repro.obs.metrics import MetricsRegistry
 
@@ -130,7 +134,8 @@ class SubQueryRouter:
             finally:
                 self.jdbc_pool.release(connection, self.user)
         else:
-            self._charge(costs.UNITY_METADATA_PARSE_MS)
+            if not self.metadata_cached:
+                self._charge(costs.UNITY_METADATA_PARSE_MS)
             connection = connect(
                 sub.location.url,
                 self.user,

@@ -93,6 +93,8 @@ class DataAccessService(ClarensService):
         jdbc_pooling: bool = False,
         preflight: bool = False,
         observe: bool = False,
+        cache: bool = False,
+        epochs=None,
     ):
         self.preflight = preflight
         self.server_ = server  # 'server' attr is set by register_service too
@@ -125,6 +127,20 @@ class DataAccessService(ClarensService):
         )
         self._peer_client = ClarensClient(server.host, server.network, server.clock)
         self._service_url = f"clarens://{server.host}/{server.name}"
+        # Multi-level query caching is opt-in: with cache off, no cache
+        # objects exist and every query walks the prototype's cold path.
+        self.cache = None
+        if cache:
+            from repro.cache import CacheManager
+
+            self.cache = CacheManager(
+                clock=server.clock, metrics=self.metrics, epochs=epochs
+            )
+            # level 3 rides inside the peer client, where forwarded
+            # sub-queries pay the wire
+            self._peer_client.answer_cache = self.cache.remote
+            # the §4.9 tracker is the schema-side invalidation source
+            self.tracker.epochs = self.cache.epochs
         # §4.9's "after a fixed interval of time, a thread is run": in
         # virtual time the poll fires lazily once the interval elapsed.
         self.schema_poll_interval_ms = schema_poll_interval_ms
@@ -145,7 +161,10 @@ class DataAccessService(ClarensService):
 
             self.tracer = Tracer(server.clock, server.name)
             self.monitor = MonitorDatabase(
-                f"monitor_{server.name}", tracer=self.tracer, metrics=self.metrics
+                f"monitor_{server.name}",
+                tracer=self.tracer,
+                metrics=self.metrics,
+                cache=self.cache,
             )
             server.network.add_observer(self._on_transfer)
             if rls_client is not None:
@@ -218,6 +237,8 @@ class DataAccessService(ClarensService):
         binding = self.directory.lookup(url)
         spec = self.tracker.watch(binding.database, logical_names)
         self.dictionary.add_database(spec, url)
+        if self.cache is not None:
+            self.cache.bump_dictionary()
         if self.ral.supports_url(url):
             self.ral.initialize(url, binding.user, binding.password)
         if publish and self.rls is not None:
@@ -234,9 +255,20 @@ class DataAccessService(ClarensService):
         self.dictionary.remove_database(database_name)
         self.tracker.unwatch(database_name)
         self.ral.release(url)
+        if self.cache is not None:
+            self.cache.bump_dictionary()
+            self.cache.epochs.bump(database_name)
 
     def _on_schema_change(self, database_name: str, new_spec: LowerXSpec) -> None:
-        """Tracker callback: refresh dictionary and RLS publications."""
+        """Tracker callback: refresh dictionary and RLS publications.
+
+        The tracker itself bumps the database's cache epoch (the §4.9
+        md5 diff is the invalidation event); here only the plan cache
+        needs flushing, because the refreshed dictionary may decompose
+        queries differently.
+        """
+        if self.cache is not None:
+            self.cache.bump_dictionary()
         url = self.dictionary.url_for(database_name)
         old_tables = set(self.dictionary.spec_for(database_name).logical_table_names())
         self.dictionary.add_database(new_spec, url)
@@ -279,17 +311,31 @@ class DataAccessService(ClarensService):
     ) -> QueryAnswer:
         """Execute a logical-name query; the local (non-RPC) entry point."""
         self._maybe_poll_schemas()
-        select = parse_select(sql) if isinstance(sql, str) else sql
+        plan_key = None
+        cached_plan = None
+        if self.cache is not None:
+            from repro.cache import normalize_sql
+
+            plan_key = normalize_sql(sql)
+            cached_plan = self.cache.get_plan(plan_key)
+        if cached_plan is not None:
+            select = cached_plan.select
+        else:
+            select = parse_select(sql) if isinstance(sql, str) else sql
         tracer = self.tracer
         start_ms = self.clock.now_ms if self.clock is not None else 0.0
         if tracer is None:
-            answer = self._execute_query(select, params, no_forward, None)
+            answer = self._execute_query(
+                select, params, no_forward, None, plan_key, cached_plan
+            )
             self._account_query(answer, start_ms)
             return answer
         with tracer.span("query") as root:
             root.set("sql", select.unparse())
             try:
-                answer = self._execute_query(select, params, no_forward, root)
+                answer = self._execute_query(
+                    select, params, no_forward, root, plan_key, cached_plan
+                )
             except Exception as exc:
                 duration = (
                     self.clock.now_ms - start_ms if self.clock is not None else 0.0
@@ -338,47 +384,72 @@ class DataAccessService(ClarensService):
         params: tuple,
         no_forward: bool,
         root_span,
+        plan_key=None,
+        cached_plan=None,
     ) -> QueryAnswer:
-        """The query pipeline: preflight → decompose → fetch → merge."""
-        preflighted = True
-        if self.preflight:
-            with self._span("preflight"):
-                preflighted = self._run_preflight(select)
+        """The query pipeline: preflight → decompose → fetch → merge.
 
-        remote_servers: set[str] = set()
-        with self._span("decompose") as decompose_span:
-            if self.clock is not None:
-                self.clock.advance_ms(costs.DECOMPOSE_MS)
-            for ref in select.referenced_tables():
-                if not self.dictionary.has_table(ref.name):
-                    if no_forward:
-                        raise TableNotRegisteredError(ref.name)
-                    remote_servers.add(self._discover_remote(ref.name))
-                else:
-                    loc = self.dictionary.locate(ref.name)
-                    if loc.is_remote:
-                        remote_servers.add(loc.remote_server)
-            if not preflighted:
-                # discovery has registered the remote tables; check now,
-                # before any sub-query ships
+        On a plan-cache hit (``cached_plan``), preflight, discovery and
+        decomposition are skipped entirely — the plan was validated when
+        it was cached, and the participants' XSpec metadata travels with
+        it (so the JDBC route skips the per-query metadata parse too).
+        """
+        if cached_plan is not None:
+            plan = cached_plan.plan
+            remote_servers = set(cached_plan.remote_servers)
+        else:
+            preflighted = True
+            if self.preflight:
                 with self._span("preflight"):
-                    self._run_preflight(select)
+                    preflighted = self._run_preflight(select)
 
-            prefer = None
-            if self.replica_selector is not None:
-                prefer = self.replica_selector.preferences(
-                    self.dictionary,
-                    [ref.name for ref in select.referenced_tables()],
-                )
-            plan = decompose(select, self.dictionary, prefer_databases=prefer)
-            decompose_span.set("subqueries", len(plan.subqueries))
-            decompose_span.set("distributed", plan.is_distributed)
+            remote_servers = set()
+            with self._span("decompose") as decompose_span:
+                if self.clock is not None:
+                    self.clock.advance_ms(costs.DECOMPOSE_MS)
+                for ref in select.referenced_tables():
+                    if not self.dictionary.has_table(ref.name):
+                        if no_forward:
+                            raise TableNotRegisteredError(ref.name)
+                        remote_servers.add(self._discover_remote(ref.name))
+                    else:
+                        loc = self.dictionary.locate(ref.name)
+                        if loc.is_remote:
+                            remote_servers.add(loc.remote_server)
+                if not preflighted:
+                    # discovery has registered the remote tables; check now,
+                    # before any sub-query ships
+                    with self._span("preflight"):
+                        self._run_preflight(select)
 
-        # Group sub-queries: local ones run here; each remote server's
-        # batch runs on that server, concurrently with everything else.
-        groups: dict[str | None, list[SubQuery]] = {}
+                prefer = None
+                if self.replica_selector is not None:
+                    prefer = self.replica_selector.preferences(
+                        self.dictionary,
+                        [ref.name for ref in select.referenced_tables()],
+                    )
+                plan = decompose(select, self.dictionary, prefer_databases=prefer)
+                decompose_span.set("subqueries", len(plan.subqueries))
+                decompose_span.set("distributed", plan.is_distributed)
+            if self.cache is not None and plan_key is not None:
+                # cached after discovery so the dictionary bumps discovery
+                # caused have already flushed older generations
+                self.cache.put_plan(plan_key, select, plan, remote_servers)
+
+        # Group sub-queries: each remote server's batch runs on that
+        # server, and each distinct *local* database is its own branch
+        # too — distinct backends serve their sub-queries concurrently,
+        # exactly like the remote peers do (§4.8's point about
+        # distributing load).
+        groups: dict[tuple, list[SubQuery]] = {}
         for sub in plan.subqueries:
-            groups.setdefault(sub.location.remote_server, []).append(sub)
+            loc = sub.location
+            group_key = (
+                ("remote", loc.remote_server)
+                if loc.is_remote
+                else ("local", loc.database_name)
+            )
+            groups.setdefault(group_key, []).append(sub)
 
         collected: dict[str, tuple] = {}
         sub_meta: dict[str, tuple] | None = {} if self.tracer is not None else None
@@ -392,11 +463,15 @@ class DataAccessService(ClarensService):
 
             return _run
 
-        branches = [run_group(subs) for subs in groups.values()]
-        if len(branches) > 1:
-            self.clock.run_parallel(branches)
-        else:
-            branches[0]()
+        self.router.metadata_cached = cached_plan is not None
+        try:
+            branches = [run_group(subs) for subs in groups.values()]
+            if len(branches) > 1:
+                self.clock.run_parallel(branches)
+            elif branches:
+                branches[0]()
+        finally:
+            self.router.metadata_cached = False
 
         def replay_runner(sub: SubQuery, _params: tuple):
             return collected[sub.binding]
@@ -460,6 +535,42 @@ class DataAccessService(ClarensService):
                 )
             return columns, types, rows, via
 
+    def _serve_cached(self, sub: SubQuery, hit: tuple, sub_meta: dict | None):
+        """Answer one sub-query from the sub-result cache.
+
+        Costs ``CACHE_HIT_MS`` on the simulated clock instead of
+        connect + execute + transfer, shows up as route ``cache`` in
+        provenance, and (when tracing) contributes a ``subquery`` span
+        so warm queries remain fully observable.
+        """
+        columns, types, rows, _via = hit
+        loc = sub.location
+        t0 = self.clock.now_ms if self.clock is not None else 0.0
+
+        def serve():
+            if self.clock is not None:
+                self.clock.advance_ms(costs.CACHE_HIT_MS)
+            self.cache.record_hit_latency(costs.CACHE_HIT_MS)
+
+        if self.tracer is None:
+            serve()
+        else:
+            with self.tracer.span(
+                "subquery",
+                binding=sub.binding,
+                database=loc.database_name,
+                table=loc.logical_table,
+                host=self.server_.host,
+            ) as span:
+                serve()
+                span.set("route", "cache").set("rows", len(rows))
+            if sub_meta is not None:
+                sub_meta[sub.binding] = (
+                    t0, self.clock.now_ms, self.server_.host,
+                    loc.database_name, loc.url,
+                )
+        return list(columns), list(types), list(rows), "cache"
+
     def _run_with_failover(
         self, sub: SubQuery, params: tuple, sub_meta: dict | None = None
     ):
@@ -468,11 +579,28 @@ class DataAccessService(ClarensService):
         The alternate replica may use different physical naming, so the
         sub-query is re-planned from its logical form against a
         one-location dictionary for the alternate.
+
+        With caching on, a local sub-query consults the sub-result
+        cache *before* any connect or transfer: a hit costs only
+        ``CACHE_HIT_MS``. Results served by a failover replica are not
+        cached (their freshness would hang off the wrong database's
+        epoch).
         """
         from repro.common.errors import ConnectionFailedError
 
+        cache_key = None
+        if self.cache is not None and not sub.location.is_remote:
+            cache_key = self.cache.sub_key(sub, params)
+            hit = self.cache.lookup_sub(cache_key)
+            if hit is not None:
+                return self._serve_cached(sub, hit, sub_meta)
         try:
-            return self._attempt(sub, params, sub_meta)
+            result = self._attempt(sub, params, sub_meta)
+            if cache_key is not None:
+                self.cache.store_sub(
+                    cache_key, result, tag=sub.location.database_name
+                )
+            return result
         except ConnectionFailedError:
             self.metrics.counter("failovers").inc()
             failed = sub.location.database_name
@@ -566,6 +694,8 @@ class DataAccessService(ClarensService):
                 self.dictionary.add_database(
                     spec, description["url"], remote_server=service_url
                 )
+                if self.cache is not None:
+                    self.cache.bump_dictionary()
                 return service_url
         raise last_error if last_error else TableNotRegisteredError(logical_table)
 
@@ -701,6 +831,8 @@ class DataAccessService(ClarensService):
                 "discarded": pool.discarded,
                 "hit_rate": round(pool.hit_rate, 4),
             }
+        if self.cache is not None:
+            out["cache"] = self.cache.stats()
         return out
 
     def trace(self, trace_id: str = ""):
@@ -785,6 +917,8 @@ class DataAccessService(ClarensService):
             )
         binding = self.directory.lookup(url)  # the database must be running
         self.dictionary.add_database(spec, url)
+        if self.cache is not None:
+            self.cache.bump_dictionary()
         # Keep the plugged-in spec's logical naming when tracking.
         logical_names = {t.name: t.logical_name for t in spec.tables}
         self.tracker.watch(binding.database, logical_names)

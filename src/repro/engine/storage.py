@@ -155,9 +155,40 @@ class TableStorage:
         return row
 
     def insert_many(self, rows: list[list], columns: list[str] | None = None) -> int:
+        return self.append_rows(rows, columns)
+
+    def append_rows(self, rows: list[list], columns: list[str] | None = None) -> int:
+        """Bulk insert: validate every row, then commit the batch at once.
+
+        All-or-nothing — constraint violations (including duplicate keys
+        *within* the batch) raise before any row lands, the secondary
+        indexes are dropped once instead of per row, and byte accounting
+        is summed over the batch. This is what the scratch-engine merge
+        and the warehouse loader use; per-row :meth:`insert` keeps
+        modelling the prototype's statement-at-a-time path.
+        """
+        if not rows:
+            return 0
+        staged: list[tuple] = []
+        staged_keys: dict[tuple, None] = {}
         for values in rows:
-            self.insert(values, columns)
-        return len(rows)
+            row = self._check_and_coerce(values, columns)
+            if self._pk_index is not None:
+                key = tuple(row[i] for i in self._pk_positions)
+                if key in self._pk_index or key in staged_keys:
+                    raise IntegrityError(
+                        f"duplicate primary key {key!r} in table {self.name!r}"
+                    )
+                staged_keys[key] = None
+            staged.append(row)
+        base = len(self.rows)
+        if self._pk_index is not None:
+            for offset, key in enumerate(staged_keys):
+                self._pk_index[key] = base + offset
+        self.rows.extend(staged)
+        self._byte_size += sum(estimate_row_bytes(r) for r in staged)
+        self._indexes.clear()
+        return len(staged)
 
     def delete_where(self, keep_predicate) -> int:
         """Delete rows for which ``keep_predicate(row)`` is False; returns count."""

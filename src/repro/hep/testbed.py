@@ -104,12 +104,23 @@ def build_paper_testbed(
     runmeta_rows: int = 150,
     total_tables: int = 1700,
     total_rows: int = 80_000,
+    cache: bool = False,
+    observe: bool = False,
 ) -> PaperTestbed:
-    """Build the §5.2 deployment on a fresh federation."""
+    """Build the §5.2 deployment on a fresh federation.
+
+    ``cache=True``/``observe=True`` turn on the multi-level query cache
+    and the telemetry stack on both servers (both default off, keeping
+    the cold Table 1 numbers the prototype's).
+    """
     rng = DeterministicRNG("paper-testbed", seed)
     fed = GridFederation()
-    s1 = fed.create_server("jclarens1", "pc1.caltech.edu")
-    s2 = fed.create_server("jclarens2", "pc2.caltech.edu")
+    s1 = fed.create_server(
+        "jclarens1", "pc1.caltech.edu", cache=cache, observe=observe
+    )
+    s2 = fed.create_server(
+        "jclarens2", "pc2.caltech.edu", cache=cache, observe=observe
+    )
 
     n_runs = max(1, runmeta_rows)
 

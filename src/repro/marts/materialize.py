@@ -33,8 +33,14 @@ def materialize_view(
     mart_host: str,
     table_name: str | None = None,
     direct: bool = False,
+    epochs=None,
 ) -> ETLReport:
-    """Replicate one warehouse view into one mart; returns phase timings."""
+    """Replicate one warehouse view into one mart; returns phase timings.
+
+    ``epochs`` (an :class:`repro.cache.EpochRegistry`) lets a cached
+    federation learn about the refresh: the mart's epoch is bumped, so
+    cached sub-results over the mart are dropped.
+    """
     if not warehouse.db.catalog.has_view(view):
         raise ETLError(f"warehouse has no view {view!r}")
     table_name = table_name or view
@@ -44,8 +50,11 @@ def materialize_view(
         mart_db.catalog.drop_table(table_name)
     # Vendor DDL round-trip: render in the mart's own spelling, re-parse.
     mart_db.execute(dialect.render_create_table(table_name, columns))
+    if epochs is None:
+        epochs = warehouse.epochs
     pipeline = ETLPipeline(
-        warehouse.network, warehouse.clock, mart_db, mart_host, autocommit=True
+        warehouse.network, warehouse.clock, mart_db, mart_host,
+        autocommit=True, epochs=epochs,
     )
     job = ETLJob(
         source=warehouse.db,
@@ -77,6 +86,8 @@ class MartSet:
     warehouse: Warehouse
     marts: list[tuple[Database, str]] = field(default_factory=list)  # (db, host)
     reports: list[ETLReport] = field(default_factory=list)
+    #: optional EpochRegistry — replications bump each mart's epoch
+    epochs: object = None
     _fingerprints: dict[str, tuple[int, int]] = field(default_factory=dict)
 
     def add_mart(self, db: Database, host: str) -> None:
@@ -90,7 +101,10 @@ class MartSet:
         for view in views:
             for db, host in self.marts:
                 out.append(
-                    materialize_view(self.warehouse, view, db, host, direct=direct)
+                    materialize_view(
+                        self.warehouse, view, db, host,
+                        direct=direct, epochs=self.epochs,
+                    )
                 )
             self._fingerprints[view] = _view_fingerprint(self.warehouse.db, view)
         self.reports.extend(out)

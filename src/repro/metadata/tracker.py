@@ -40,6 +40,12 @@ class SchemaTracker:
         self.changes_detected = 0
         #: structural delta of every detected change, newest last
         self.change_log: list = []
+        #: optional :class:`repro.cache.EpochRegistry` — when a caching
+        #: service installs one, every detected schema change bumps the
+        #: database's epoch *before* subscribers run, so cached results
+        #: keyed on the old epoch are unreachable by the time the
+        #: dictionary refreshes
+        self.epochs = None
 
     def watch(
         self, database: Database, logical_names: dict[str, str] | None = None
@@ -88,6 +94,8 @@ class SchemaTracker:
             tracked.versions_seen += 1
             changed.append(name)
             self.changes_detected += 1
+            if self.epochs is not None:
+                self.epochs.bump(name)
             for callback in self._subscribers:
                 callback(name, new_spec)
         return changed

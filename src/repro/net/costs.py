@@ -69,6 +69,17 @@ POOL_INIT_HANDLE_MS = 90.0
 #: per-query overhead through the JNI wrapper + RAL dispatch
 POOL_CALL_MS = 12.0
 
+# -- federated query caching (opt-in; see repro.cache) -----------------------------------
+
+#: serving a cached sub-result or remote answer from the in-memory store
+#: (hash lookup + handing over already-decoded rows). Replaces connect +
+#: execute + transfer + encode/decode on a warm hit; tune it to model
+#: slower cache media.
+CACHE_HIT_MS = 2.0
+#: default freshness bound for cached remote answers (simulated ms) —
+#: epoch bumps invalidate sooner, the TTL caps unseen remote changes
+CACHE_REMOTE_TTL_MS = 30_000.0
+
 # -- Replica Location Service ------------------------------------------------------------
 
 #: server-side lookup in the table→URL map

@@ -37,9 +37,17 @@ _DDL = (
         distributed INT, row_count INT, duration_ms DOUBLE,
         servers INT, status VARCHAR(80)
     )""",
+    """CREATE TABLE monitor_cache (
+        cache_level VARCHAR(16), stat VARCHAR(20), value DOUBLE
+    )""",
 )
 
-MONITOR_TABLES = ("monitor_spans", "monitor_metrics", "monitor_queries")
+MONITOR_TABLES = (
+    "monitor_spans",
+    "monitor_metrics",
+    "monitor_queries",
+    "monitor_cache",
+)
 
 
 class MonitorDatabase(Database):
@@ -58,10 +66,13 @@ class MonitorDatabase(Database):
         tracer: Tracer,
         metrics: MetricsRegistry,
         vendor: str = "mysql",
+        cache=None,
     ):
         super().__init__(name, vendor)
         self.tracer = tracer
         self.metrics = metrics
+        #: optional :class:`repro.cache.CacheManager` feeding monitor_cache
+        self.cache = cache
         self._refreshing = False
         for ddl in _DDL:
             self.execute(ddl)
@@ -117,6 +128,15 @@ class MonitorDatabase(Database):
                         q.status,
                     )
                     for q in self.tracer.queries
+                ]
+            )
+            cache = self.catalog.get_table("monitor_cache")
+            cache.replace_rows(
+                []
+                if self.cache is None
+                else [
+                    (level, stat, float(value))
+                    for level, stat, value in self.cache.stat_rows()
                 ]
             )
         finally:

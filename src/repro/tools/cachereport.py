@@ -1,0 +1,170 @@
+"""Cache effectiveness report CLI: ``python -m repro.tools.cachereport``.
+
+Builds a cached (non-observing, so forwarded sub-queries keep stable
+wire shapes and the remote-answer level can hit) two-server federation,
+runs the distributed demo query cold and warm, then demonstrates
+epoch-based invalidation with a live schema change::
+
+    python -m repro.tools.cachereport              # human-readable report
+    python -m repro.tools.cachereport --json       # machine-readable report
+    python -m repro.tools.cachereport --json --out BENCH_cachereport.json
+    python -m repro.tools.cachereport --self-test  # fixture-free CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core.federation import GridFederation
+from repro.tools.tracereport import DEMO_SQL, _events_db, _runs_db
+
+
+def build_cached_federation():
+    """Two caching JClarens servers (no tracing), one database each."""
+    fed = GridFederation()
+    a = fed.create_server("jclarens-a", "tier2a.cern.ch", cache=True)
+    b = fed.create_server("jclarens-b", "tier2b.caltech.edu", cache=True)
+    events = _events_db()
+    runs = _runs_db()
+    fed.attach_database(a, events, logical_names={"EVT": "events"})
+    fed.attach_database(b, runs, logical_names={"RUN_INFO": "runs"})
+    return fed, a, b, events, runs
+
+
+def build_report() -> dict:
+    """Cold run, warm run, schema-change invalidation, fresh re-run."""
+    fed, a, b, events, _runs = build_cached_federation()
+    service = a.service
+
+    t0 = fed.clock.now_ms
+    cold = service.execute(DEMO_SQL)
+    cold_ms = fed.clock.now_ms - t0
+
+    t1 = fed.clock.now_ms
+    warm = service.execute(DEMO_SQL)
+    warm_ms = fed.clock.now_ms - t1
+    warm_stats = service.cache.stats()
+
+    # Invalidate by changing the events schema: the §4.9 tracker's md5
+    # diff bumps the database's epoch, and the next run is cold again.
+    events.execute("ALTER TABLE EVT ADD COLUMN EXTRA INT")
+    service.tracker.poll()
+    t2 = fed.clock.now_ms
+    fresh = service.execute(DEMO_SQL)
+    fresh_ms = fed.clock.now_ms - t2
+
+    return {
+        "sql": DEMO_SQL,
+        "rows": cold.row_count,
+        "cold_ms": round(cold_ms, 3),
+        "warm_ms": round(warm_ms, 3),
+        "speedup": round(cold_ms / warm_ms, 2) if warm_ms else None,
+        "warm_rows_identical": warm.rows == cold.rows,
+        "post_invalidation_ms": round(fresh_ms, 3),
+        "post_invalidation_rows_identical": fresh.rows == cold.rows,
+        "cache_after_warm": warm_stats,
+        "cache_after_invalidation": service.cache.stats(),
+        "remote_server_cache": b.service.cache.stats(),
+    }
+
+
+def _print_human(report: dict) -> None:
+    print(f"query: {report['sql']}")
+    print(
+        f"cold {report['cold_ms']} ms -> warm {report['warm_ms']} ms "
+        f"({report['speedup']}x), rows identical: "
+        f"{report['warm_rows_identical']}"
+    )
+    stats = report["cache_after_warm"]
+    for level in ("plan", "sub", "remote"):
+        s = stats[level]
+        print(
+            f"  {level:6} entries={s['entries']} bytes={s['bytes']} "
+            f"hits={s['hits']} misses={s['misses']} hit_rate={s['hit_rate']:g}"
+        )
+    print(
+        f"schema change + tracker poll -> epoch generation "
+        f"{report['cache_after_invalidation']['epoch_generation']}, "
+        f"re-run {report['post_invalidation_ms']} ms, rows identical: "
+        f"{report['post_invalidation_rows_identical']}"
+    )
+
+
+def _self_test() -> int:
+    """Fixture-free sanity gate over the caching stack."""
+    report = build_report()
+    warm = report["cache_after_warm"]
+    after = report["cache_after_invalidation"]
+    checks = [
+        ("warm run faster than cold", report["warm_ms"] < report["cold_ms"]),
+        ("warm run at least 5x faster", report["warm_ms"] * 5 <= report["cold_ms"]),
+        ("warm rows byte-identical", report["warm_rows_identical"]),
+        ("plan cache hit", warm["plan"]["hits"] >= 1),
+        ("sub-result cache hit", warm["sub"]["hits"] >= 1),
+        ("remote-answer cache hit", warm["remote"]["hits"] >= 1),
+        (
+            "schema change bumped the epoch",
+            after["epoch_generation"] > warm["epoch_generation"],
+        ),
+        (
+            "invalidation flushed entries",
+            after["invalidations"] > warm["invalidations"],
+        ),
+        (
+            "post-invalidation run not served stale",
+            report["post_invalidation_rows_identical"]
+            and report["post_invalidation_ms"] > report["warm_ms"],
+        ),
+    ]
+    failed = 0
+    for name, ok in checks:
+        if ok:
+            print(f"ok    {name}")
+        else:
+            failed += 1
+            print(f"FAIL  {name}")
+    if failed:
+        print(f"self-test: {failed} of {len(checks)} checks failed")
+        return 1
+    print(f"self-test: all {len(checks)} checks passed")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.cachereport",
+        description="cache effectiveness report for the demo federation",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    parser.add_argument(
+        "--out", metavar="FILE", help="write the report to FILE instead of stdout"
+    )
+    parser.add_argument(
+        "--self-test", action="store_true",
+        help="run the built-in caching checks and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return _self_test()
+
+    report = build_report()
+    if args.json:
+        text = json.dumps(report, indent=2, sort_keys=True)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            print(f"wrote {args.out}", file=sys.stderr)
+        else:
+            print(text)
+        return 0
+    _print_human(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

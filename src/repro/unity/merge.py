@@ -48,8 +48,7 @@ class Integrator:
                 [Column(name=c, type=t) for c, t in zip(columns, types)],
             )
             storage = scratch.catalog.get_table(sub.binding)
-            for row in rows:
-                storage.insert(list(row))
+            storage.append_rows([list(row) for row in rows])
             total_rows += len(rows)
         # Building scratch tables is the "integration" cost of §5.2.
         self._charge(total_rows * costs.MERGE_PER_ROW_MS)

@@ -128,6 +128,7 @@ class ETLPipeline:
         autocommit: bool = False,
         tracer=None,
         metrics=None,
+        epochs=None,
     ):
         self.network = network
         self.clock = clock
@@ -137,6 +138,11 @@ class ETLPipeline:
         self.autocommit = autocommit
         self.tracer = tracer
         self.metrics = metrics
+        #: optional :class:`repro.cache.EpochRegistry` — every load that
+        #: lands rows bumps the target database's epoch, so federated
+        #: query caches drop that database's entries (data-side
+        #: invalidation; the §4.9 schema fingerprint ignores row counts)
+        self.epochs = epochs
         self.reports: list[ETLReport] = []
         #: target table -> highest watermark value shipped so far
         self.watermarks: dict[str, object] = {}
@@ -200,6 +206,8 @@ class ETLPipeline:
             self._load_inner(columns, rows, job)
             span.set("rows", len(rows))
         self._count("etl.rows_loaded", len(rows))
+        if self.epochs is not None and rows:
+            self.epochs.bump(self.target.name)
 
     def _load_inner(self, columns: list[str], rows: list[tuple], job: ETLJob) -> None:
         dialect = get_dialect(self.target.vendor)

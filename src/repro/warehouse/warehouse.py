@@ -23,17 +23,21 @@ class Warehouse:
         name: str = "warehouse",
         nvar: int = 8,
         wide_vars: int | None = None,
+        epochs=None,
     ):
         self.network = network
         self.clock = clock
         self.host = host
         self.nvar = nvar
+        #: optional EpochRegistry shared with the federation's caches:
+        #: warehouse loads invalidate cached queries over the warehouse
+        self.epochs = epochs
         if not network.has_host(host):
             network.add_host(host, tier=0)
         self.db = Database(name, "oracle")
         create_warehouse_schema(self.db, nvar)
         create_warehouse_views(self.db, nvar, wide_vars)
-        self.pipeline = ETLPipeline(network, clock, self.db, host)
+        self.pipeline = ETLPipeline(network, clock, self.db, host, epochs=epochs)
 
     def load(self, job: ETLJob, direct: bool = False) -> ETLReport:
         """Run one ETL job into the warehouse (staged unless ``direct``)."""
