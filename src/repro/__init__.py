@@ -44,6 +44,13 @@ from repro.obs import (
     format_span_tree,
 )
 from repro.poolral import PoolRAL, PoolRALWrapper
+from repro.resilience import (
+    ChaosSchedule,
+    CircuitBreaker,
+    ResilienceConfig,
+    RetryPolicy,
+    SubQueryFailure,
+)
 from repro.rls import RLSClient, RLSServer
 from repro.unity import UnityDriver
 from repro.warehouse import ETLJob, ETLPipeline, Warehouse
@@ -67,6 +74,8 @@ __all__ = [
     "LintReport",
     "LowerXSpec",
     "MartSet",
+    "ChaosSchedule",
+    "CircuitBreaker",
     "MetricsRegistry",
     "MonitorDatabase",
     "Network",
@@ -78,11 +87,14 @@ __all__ = [
     "RLSClient",
     "RLSServer",
     "ReproError",
+    "ResilienceConfig",
+    "RetryPolicy",
     "SQLType",
     "SchemaTracker",
     "ServerHandle",
     "Severity",
     "SimClock",
+    "SubQueryFailure",
     "Tracer",
     "TypeKind",
     "UnityDriver",

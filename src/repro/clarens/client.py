@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.clarens.codec import payload_bytes
 from repro.clarens.server import ClarensServer, result_row_count
+from repro.common.errors import AuthenticationError
 from repro.net import costs
 from repro.net.network import Network
 from repro.net.simclock import SimClock
@@ -25,6 +26,9 @@ class ClarensSession:
     server: ClarensServer
     session_id: str
     user: str
+    #: kept so a reconnect with different credentials re-authenticates
+    #: instead of silently reusing the cached session
+    password: str = ""
 
 
 class ClarensClient:
@@ -67,7 +71,10 @@ class ClarensClient:
         user = self.user if user is None else user
         password = self.password if password is None else password
         cached = self._sessions.get(server.name)
-        if cached is not None and cached.user == user:
+        # a cached session only matches when BOTH credentials match —
+        # reconnecting with a wrong password must hit the server and be
+        # rejected, not silently ride the old authenticated session
+        if cached is not None and cached.user == user and cached.password == password:
             return cached
         request = payload_bytes("auth", [user, "***"])
         self.network.transfer(self.host, server.host, request, self.clock)
@@ -75,7 +82,7 @@ class ClarensClient:
         self.network.transfer(
             server.host, self.host, payload_bytes("auth", session_id), self.clock
         )
-        session = ClarensSession(server, session_id, user)
+        session = ClarensSession(server, session_id, user, password)
         self._sessions[server.name] = session
         return session
 
@@ -83,6 +90,15 @@ class ClarensClient:
         session = self._sessions.pop(server.name, None)
         if session is not None:
             session.server.close_session(session.session_id)
+
+    @staticmethod
+    def _session_alive(server: ClarensServer, session: ClarensSession) -> bool:
+        """Is our cached session still live on the server?"""
+        try:
+            server.check_session(session.session_id)
+        except AuthenticationError:
+            return False
+        return True
 
     # -- calls --------------------------------------------------------------------
 
@@ -104,7 +120,18 @@ class ClarensClient:
         request = payload_bytes(method, list(args))
         self.bytes_sent += request
         self.network.transfer(self.host, server.host, request, self.clock)
-        result = server.dispatch(session.session_id, method, list(args))
+        try:
+            result = server.dispatch(session.session_id, method, list(args))
+        except AuthenticationError:
+            if self._session_alive(server, session):
+                raise  # a real ACL/credential fault, not a stale session
+            # the server restarted (or expired us): drop the dead session,
+            # re-authenticate once and replay the request
+            self._sessions.pop(server.name, None)
+            session = self.connect(server)
+            self.bytes_sent += request
+            self.network.transfer(self.host, server.host, request, self.clock)
+            result = server.dispatch(session.session_id, method, list(args))
         response = payload_bytes(method, result) + costs.XMLRPC_ENVELOPE_BYTES
         self.bytes_received += response
         self.network.transfer(server.host, self.host, response, self.clock)

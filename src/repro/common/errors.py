@@ -87,6 +87,25 @@ class AuthenticationError(DriverError):
     """Credentials were rejected by the target database or server."""
 
 
+class CircuitOpenError(ConnectionFailedError):
+    """A circuit breaker refused the call without touching the backend.
+
+    Subclasses :class:`ConnectionFailedError` so every failover path
+    treats a tripped breaker exactly like a dead backend — except that
+    the refusal is instant instead of costing a partition timeout.
+    """
+
+    def __init__(self, key: str, retry_after_ms: float | None = None):
+        self.key = key
+        self.retry_after_ms = retry_after_ms
+        after = (
+            f" (probe allowed in {retry_after_ms:.0f} ms)"
+            if retry_after_ms is not None
+            else ""
+        )
+        super().__init__(f"circuit breaker open for {key!r}{after}")
+
+
 class UnsupportedVendorError(DriverError):
     """No registered dialect/driver understands the vendor name."""
 

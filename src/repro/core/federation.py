@@ -86,6 +86,7 @@ class GridFederation:
         preflight: bool = False,
         observe: bool = False,
         cache: bool = False,
+        resilience=False,
     ) -> ServerHandle:
         """Start a JClarens server with a data access service on ``host``.
 
@@ -97,6 +98,11 @@ class GridFederation:
         With ``cache=True`` the service gets the multi-level query cache
         (:mod:`repro.cache`), wired to the federation-wide epoch
         registry so invalidation events propagate across servers.
+
+        With ``resilience=True`` (or a
+        :class:`~repro.resilience.ResilienceConfig`) the service gets
+        retry/backoff, per-backend circuit breakers and graceful
+        partial answers (:mod:`repro.resilience`).
         """
         self.add_host(host, tier)
         if cache and self.epochs is None:
@@ -118,6 +124,7 @@ class GridFederation:
             observe=observe,
             cache=cache,
             epochs=self.epochs,
+            resilience=resilience,
         )
         server.register_service(service)
         # server-side histogramming rides alongside the data access service
@@ -196,17 +203,27 @@ class GridFederation:
         handle: ServerHandle,
         sql: str,
         params: tuple = (),
+        allow_partial: bool = False,
     ) -> QueryOutcome:
         """Client-side query through the web-service interface, timed.
 
         The measured interval matches the paper's §5.2 "response time":
         from the client sending the request to the client holding the
         decoded rows (session establishment excluded — the prototype
-        measured warm servers).
+        measured warm servers). ``allow_partial`` asks the server for a
+        flagged partial answer instead of a fault when backends die.
         """
         client.connect(handle.server)  # warm the session before timing
         start = self.clock.now_ms
-        response = client.call(handle.server, "dataaccess.query", sql, list(params))
+        if allow_partial:
+            response = client.call(
+                handle.server, "dataaccess.query", sql, list(params),
+                False, None, True,
+            )
+        else:
+            response = client.call(
+                handle.server, "dataaccess.query", sql, list(params)
+            )
         elapsed = self.clock.now_ms - start
         answer = QueryAnswer(
             columns=response["columns"],
@@ -217,5 +234,7 @@ class GridFederation:
             servers_accessed=response["servers"],
             tables_accessed=response["tables"],
             routes=list(response.get("routes", [])),
+            partial=bool(response.get("partial", False)),
+            failures=list(response.get("failures", [])),
         )
         return QueryOutcome(answer=answer, response_ms=elapsed)

@@ -48,6 +48,10 @@ class ReplicaSelector:
             binding = self.directory.lookup(location.url)
         except ConnectionFailedError:
             return ReplicaChoice(location, float("inf"), available=False)
+        # a directory entry is not liveness: a partitioned or failed host
+        # must not be pinned by the decomposer
+        if not self.network.is_reachable(self.home_host, binding.host_name):
+            return ReplicaChoice(location, float("inf"), available=False)
         link = self.network.link_between(self.home_host, binding.host_name)
         return ReplicaChoice(location, link.transfer_ms(PROBE_BYTES), available=True)
 
@@ -72,9 +76,18 @@ class ReplicaSelector:
     def preferences(
         self, dictionary: DataDictionary, logical_tables: list[str]
     ) -> dict[str, str]:
-        """``prefer_databases`` mapping for the decomposer."""
+        """``prefer_databases`` mapping for the decomposer.
+
+        A table whose every replica is currently unavailable is left
+        unpinned: selection is an optimisation, and refusing to plan
+        would bypass the failover and partial-answer machinery that
+        knows how to handle (or report) dead backends per sub-query.
+        """
         out: dict[str, str] = {}
         for table in logical_tables:
             if len(dictionary.locations(table)) > 1:
-                out[table] = self.choose(dictionary, table).database_name
+                try:
+                    out[table] = self.choose(dictionary, table).database_name
+                except ConnectionFailedError:
+                    continue
         return out

@@ -19,6 +19,7 @@ from repro.clarens.client import ClarensClient
 from repro.clarens.server import ClarensServer, ClarensService
 from repro.common.errors import (
     ClarensFault,
+    ConnectionFailedError,
     FederationError,
     TableNotRegisteredError,
 )
@@ -53,6 +54,11 @@ class QueryAnswer:
     routes: list[str] = field(default_factory=list)
     #: per-sub-query provenance (timings, replica host) — see SubQueryTrace
     traces: list = field(default_factory=list)
+    #: True when an ``allow_partial`` query lost at least one sub-query
+    #: branch — the rows are an under-approximation, never silently so
+    partial: bool = False
+    #: per-failed-sub-query provenance (see resilience.SubQueryFailure)
+    failures: list = field(default_factory=list)
 
     @property
     def row_count(self) -> int:
@@ -95,6 +101,7 @@ class DataAccessService(ClarensService):
         observe: bool = False,
         cache: bool = False,
         epochs=None,
+        resilience=False,
     ):
         self.preflight = preflight
         self.server_ = server  # 'server' attr is set by register_service too
@@ -152,6 +159,19 @@ class DataAccessService(ClarensService):
             self.replica_selector = ReplicaSelector(
                 server.network, directory, server.host
             )
+        # Retry/backoff + circuit breakers are opt-in: with resilience
+        # off, no manager or breaker objects exist and every failure
+        # path behaves exactly as the prototype's single bare retry.
+        self.resilience = None
+        if resilience:
+            from repro.resilience import ResilienceConfig, ResilienceManager
+
+            config = resilience if isinstance(resilience, ResilienceConfig) else None
+            self.resilience = ResilienceManager(
+                clock=server.clock, metrics=self.metrics, config=config
+            )
+            if rls_client is not None:
+                rls_client.resilience = self.resilience
         # Span tracing + R-GMA monitor tables are opt-in: with observe
         # off, no tracer, no monitor, and no span objects ever allocated.
         self.tracer: Tracer | None = None
@@ -165,10 +185,16 @@ class DataAccessService(ClarensService):
                 tracer=self.tracer,
                 metrics=self.metrics,
                 cache=self.cache,
+                resilience=self.resilience,
             )
             server.network.add_observer(self._on_transfer)
             if rls_client is not None:
                 rls_client.tracer = self.tracer
+            if self.resilience is not None:
+                self.resilience.tracer = self.tracer
+        # failed transfers must be visible in dataaccess.metrics even
+        # without tracing — the partition-timeout path counts here
+        server.network.add_failure_observer(self._on_transfer_failed)
         if rls_client is not None:
             rls_client.metrics = self.metrics
 
@@ -212,6 +238,18 @@ class DataAccessService(ClarensService):
             end = self.tracer.now_ms
             self.tracer.record(
                 "transfer", end - ms, end, src=src, dst=dst, bytes=int(nbytes)
+            )
+
+    def _on_transfer_failed(self, src: str, dst: str, nbytes: int, ms: float) -> None:
+        """Network failure observer: account partition timeouts."""
+        host = self.server_.host
+        if host != src and host != dst:
+            return
+        self.metrics.counter("net.partition_timeouts").inc()
+        if self.tracer is not None and self.tracer.active is not None:
+            end = self.tracer.now_ms
+            self.tracer.record(
+                "transfer_failed", end - ms, end, src=src, dst=dst, bytes=int(nbytes)
             )
 
     def _host_of(self, url: str) -> str | None:
@@ -307,10 +345,23 @@ class DataAccessService(ClarensService):
         return True
 
     def execute(
-        self, sql: str | ast.Select, params: tuple = (), no_forward: bool = False
+        self,
+        sql: str | ast.Select,
+        params: tuple = (),
+        no_forward: bool = False,
+        allow_partial: bool = False,
     ) -> QueryAnswer:
-        """Execute a logical-name query; the local (non-RPC) entry point."""
+        """Execute a logical-name query; the local (non-RPC) entry point.
+
+        With ``allow_partial=True``, a sub-query whose every replica and
+        retry is exhausted degrades to zero rows instead of failing the
+        whole query: the answer comes back ``partial=True`` with one
+        :class:`~repro.resilience.SubQueryFailure` per lost branch.
+        """
         self._maybe_poll_schemas()
+        if self.resilience is not None:
+            # arm the per-query retry deadline budget from this instant
+            self.resilience.start_deadline()
         plan_key = None
         cached_plan = None
         if self.cache is not None:
@@ -326,7 +377,8 @@ class DataAccessService(ClarensService):
         start_ms = self.clock.now_ms if self.clock is not None else 0.0
         if tracer is None:
             answer = self._execute_query(
-                select, params, no_forward, None, plan_key, cached_plan
+                select, params, no_forward, None, plan_key, cached_plan,
+                allow_partial,
             )
             self._account_query(answer, start_ms)
             return answer
@@ -334,7 +386,8 @@ class DataAccessService(ClarensService):
             root.set("sql", select.unparse())
             try:
                 answer = self._execute_query(
-                    select, params, no_forward, root, plan_key, cached_plan
+                    select, params, no_forward, root, plan_key, cached_plan,
+                    allow_partial,
                 )
             except Exception as exc:
                 duration = (
@@ -364,7 +417,7 @@ class DataAccessService(ClarensService):
                 row_count=answer.row_count,
                 duration_ms=duration,
                 servers=answer.servers_accessed,
-                status="ok",
+                status="partial" if answer.partial else "ok",
             )
         )
         return answer
@@ -372,6 +425,8 @@ class DataAccessService(ClarensService):
     def _account_query(self, answer: QueryAnswer, start_ms: float) -> None:
         """Fold one successful query into the metrics registry."""
         self.metrics.counter("queries").inc()
+        if answer.partial:
+            self.metrics.counter("partial_answers").inc()
         if answer.distributed:
             self.metrics.counter("queries_distributed").inc()
         self.metrics.counter("rows_returned").inc(answer.row_count)
@@ -386,6 +441,7 @@ class DataAccessService(ClarensService):
         root_span,
         plan_key=None,
         cached_plan=None,
+        allow_partial: bool = False,
     ) -> QueryAnswer:
         """The query pipeline: preflight → decompose → fetch → merge.
 
@@ -453,23 +509,37 @@ class DataAccessService(ClarensService):
 
         collected: dict[str, tuple] = {}
         sub_meta: dict[str, tuple] | None = {} if self.tracer is not None else None
+        failures: list = []
 
         def run_group(subs: list[SubQuery]):
             def _run():
                 for sub in subs:
-                    collected[sub.binding] = self._run_with_failover(
-                        sub, params, sub_meta
-                    )
+                    try:
+                        collected[sub.binding] = self._run_with_failover(
+                            sub, params, sub_meta
+                        )
+                    except ConnectionFailedError as exc:
+                        if not allow_partial:
+                            raise
+                        # graceful degradation: the branch contributes
+                        # zero rows, flagged with failure provenance
+                        from repro.resilience import SubQueryFailure
+
+                        failures.append(SubQueryFailure.from_exception(sub, exc))
+                        collected[sub.binding] = self._empty_sub_result(sub, params)
 
             return _run
 
         self.router.metadata_cached = cached_plan is not None
         try:
             branches = [run_group(subs) for subs in groups.values()]
-            if len(branches) > 1:
+            if len(branches) > 1 and self.clock is not None:
                 self.clock.run_parallel(branches)
-            elif branches:
-                branches[0]()
+            else:
+                # a clock-less service still runs every branch — there
+                # is just no virtual time to fork/join
+                for branch in branches:
+                    branch()
         finally:
             self.router.metadata_cached = False
 
@@ -488,6 +558,8 @@ class DataAccessService(ClarensService):
                     continue
                 trace.start_ms, trace.end_ms, trace.replica_host = meta[0:3]
                 trace.database, trace.url = meta[3:5]
+        if failures and root_span is not None:
+            root_span.set("partial", True).set("failed_subqueries", len(failures))
         return QueryAnswer(
             columns=result.columns,
             types=result.types,
@@ -498,6 +570,8 @@ class DataAccessService(ClarensService):
             tables_accessed=len(plan.original.referenced_tables()),
             routes=[t.via for t in result.traces],
             traces=list(result.traces),
+            partial=bool(failures),
+            failures=failures,
         )
 
     def _maybe_poll_schemas(self) -> None:
@@ -571,6 +645,49 @@ class DataAccessService(ClarensService):
                 )
         return list(columns), list(types), list(rows), "cache"
 
+    def _breaker_key(self, sub: SubQuery) -> str:
+        """Breaker identity of the backend one sub-query touches."""
+        loc = sub.location
+        if loc.is_remote:
+            return f"peer:{loc.remote_server}"
+        return f"db:{loc.database_name}"
+
+    def _guarded_attempt(self, sub: SubQuery, params: tuple, sub_meta: dict | None):
+        """One attempt, behind the resilience layer when it is on.
+
+        With resilience off this is exactly ``_attempt``; with it on,
+        the backend's circuit breaker gates the call (an open breaker
+        refuses instantly instead of costing ``PARTITION_TIMEOUT_MS``)
+        and transient connection failures retry with backoff within the
+        per-query deadline budget.
+        """
+        if self.resilience is None:
+            return self._attempt(sub, params, sub_meta)
+        return self.resilience.call(
+            self._breaker_key(sub), lambda: self._attempt(sub, params, sub_meta)
+        )
+
+    def _empty_sub_result(self, sub: SubQuery, params: tuple):
+        """Zero-row stand-in for a sub-query whose backend is lost.
+
+        Shaped by running the physical sub-select against an empty
+        scratch copy of the target table, so columns and types match
+        what a live backend would have returned.
+        """
+        from repro.engine.database import Database
+        from repro.engine.storage import Column
+        from repro.unity.driver import _logicalize_columns
+
+        table = sub.location.table
+        scratch = Database("__degraded__", "generic")
+        scratch.catalog.create_table(
+            table.name,
+            [Column(name=c.name, type=c.logical_type) for c in table.columns],
+        )
+        result = scratch.execute_statement(sub.select, params)
+        columns = _logicalize_columns(list(result.columns), sub)
+        return columns, list(result.types), [], "failed"
+
     def _run_with_failover(
         self, sub: SubQuery, params: tuple, sub_meta: dict | None = None
     ):
@@ -586,8 +703,6 @@ class DataAccessService(ClarensService):
         cached (their freshness would hang off the wrong database's
         epoch).
         """
-        from repro.common.errors import ConnectionFailedError
-
         cache_key = None
         if self.cache is not None and not sub.location.is_remote:
             cache_key = self.cache.sub_key(sub, params)
@@ -595,13 +710,13 @@ class DataAccessService(ClarensService):
             if hit is not None:
                 return self._serve_cached(sub, hit, sub_meta)
         try:
-            result = self._attempt(sub, params, sub_meta)
+            result = self._guarded_attempt(sub, params, sub_meta)
             if cache_key is not None:
                 self.cache.store_sub(
                     cache_key, result, tag=sub.location.database_name
                 )
             return result
-        except ConnectionFailedError:
+        except ConnectionFailedError as primary_exc:
             self.metrics.counter("failovers").inc()
             failed = sub.location.database_name
             table = sub.location.logical_table
@@ -611,10 +726,13 @@ class DataAccessService(ClarensService):
                 if loc.database_name != failed
             ]
             if not alternates and self.rls is not None:
-                # no local replica — maybe another JClarens server hosts one
+                # no local replica — maybe another JClarens server hosts
+                # one. Only *expected* discovery failures are swallowed;
+                # a programming error here must propagate, not be
+                # silently replaced by the connection error.
                 try:
                     self._discover_remote(table, exclude_own=True)
-                except (FederationError, Exception):  # noqa: BLE001 - keep original error
+                except (FederationError, ClarensFault):
                     pass
                 alternates = [
                     loc
@@ -646,12 +764,14 @@ class DataAccessService(ClarensService):
                 )
                 self.metrics.counter("failover_retries").inc()
                 try:
-                    return self._attempt(retry, params, sub_meta)
+                    return self._guarded_attempt(retry, params, sub_meta)
                 except ConnectionFailedError as exc:
                     last_error = exc
-            raise last_error if last_error else ConnectionFailedError(
+            if last_error is not None:
+                raise last_error from primary_exc
+            raise ConnectionFailedError(
                 f"no live replica for {sub.location.logical_table!r}"
-            )
+            ) from primary_exc
 
     # ------------------------------------------------------------------
     # remote resolution and forwarding
@@ -684,10 +804,19 @@ class DataAccessService(ClarensService):
             for service_url in urls:
                 try:
                     peer = self._resolve_peer(service_url)
-                    description = self._peer_client.call(
+                    describe = lambda: self._peer_client.call(  # noqa: E731
                         peer, "dataaccess.describe", logical_table
                     )
-                except (FederationError, ClarensFault) as exc:
+                    if self.resilience is not None:
+                        description = self.resilience.call(
+                            f"peer:{service_url}", describe
+                        )
+                    else:
+                        description = describe()
+                # a partitioned/dead peer (ConnectionFailedError) is as
+                # skippable as a stale RLS entry: move on to the next
+                # replica server instead of failing the lookup
+                except (FederationError, ClarensFault, ConnectionFailedError) as exc:
                     last_error = exc
                     continue
                 spec = LowerXSpec.from_xml(description["spec_xml"])
@@ -731,19 +860,24 @@ class DataAccessService(ClarensService):
         params: list | None = None,
         no_forward: bool = False,
         trace_ctx: dict | None = None,
+        allow_partial: bool = False,
     ):
         """Clarens method: run a query, return a struct of plain lists.
 
         A forwarding origin server may pass ``trace_ctx`` (trace id +
         parent span id); this server's spans then join that trace and
-        travel back in the response's ``spans`` key.
+        travel back in the response's ``spans`` key. With
+        ``allow_partial`` the response may carry ``partial=True`` plus a
+        ``failures`` list instead of a fault when backends are lost.
         """
         adopted = bool(trace_ctx) and self.tracer is not None
         mark = len(self.tracer.spans) if adopted else 0
         if adopted:
             self.tracer.adopt(trace_ctx["trace_id"], trace_ctx["parent_id"])
         try:
-            answer = self.execute(sql, tuple(params or ()), bool(no_forward))
+            answer = self.execute(
+                sql, tuple(params or ()), bool(no_forward), bool(allow_partial)
+            )
         finally:
             if adopted:
                 self.tracer.release()
@@ -756,6 +890,10 @@ class DataAccessService(ClarensService):
             "tables": answer.tables_accessed,
             "routes": list(answer.routes),
         }
+        if allow_partial:
+            # only partial-tolerant callers pay the extra response bytes
+            out["partial"] = answer.partial
+            out["failures"] = [f.as_dict() for f in answer.failures]
         if adopted:
             out["spans"] = [s.as_dict() for s in self.tracer.spans[mark:]]
         return out
@@ -833,6 +971,9 @@ class DataAccessService(ClarensService):
             }
         if self.cache is not None:
             out["cache"] = self.cache.stats()
+        if self.resilience is not None:
+            out["resilience"] = self.resilience.stats()
+            out["partial_answers"] = count("partial_answers")
         return out
 
     def trace(self, trace_id: str = ""):

@@ -52,8 +52,13 @@ class Network:
         self._failed_hosts: set[str] = set()
         self.bytes_moved = 0
         self.messages = 0
+        #: transfers that died waiting out a partition timeout
+        self.partition_timeouts = 0
         #: observers called as fn(src, dst, nbytes, ms) after a transfer
         self._observers: list = []
+        #: observers called as fn(src, dst, nbytes, ms) when a transfer
+        #: fails on a partition/dead host (ms is the timeout paid)
+        self._failure_observers: list = []
 
     # -- observers --------------------------------------------------------------
 
@@ -66,6 +71,16 @@ class Network:
         """Unsubscribe a transfer observer."""
         if fn in self._observers:
             self._observers.remove(fn)
+
+    def add_failure_observer(self, fn) -> None:
+        """Subscribe ``fn(src, dst, nbytes, ms)`` to failed transfers."""
+        if fn not in self._failure_observers:
+            self._failure_observers.append(fn)
+
+    def remove_failure_observer(self, fn) -> None:
+        """Unsubscribe a failed-transfer observer."""
+        if fn in self._failure_observers:
+            self._failure_observers.remove(fn)
 
     # -- topology -------------------------------------------------------------
 
@@ -141,6 +156,11 @@ class Network:
             from repro.common.errors import ConnectionFailedError
 
             clock.advance_ms(costs.PARTITION_TIMEOUT_MS)
+            # a failed transfer is an event too: count it and tell the
+            # failure observers, or dataaccess.metrics never sees it
+            self.partition_timeouts += 1
+            for fn in self._failure_observers:
+                fn(src, dst, nbytes, costs.PARTITION_TIMEOUT_MS)
             raise ConnectionFailedError(
                 f"network partition: {src!r} cannot reach {dst!r}"
             )

@@ -40,6 +40,11 @@ _DDL = (
     """CREATE TABLE monitor_cache (
         cache_level VARCHAR(16), stat VARCHAR(20), value DOUBLE
     )""",
+    """CREATE TABLE monitor_breakers (
+        breaker_key VARCHAR(120), state VARCHAR(12),
+        consecutive_failures INT, opens INT, fast_fails INT,
+        opened_at_ms DOUBLE
+    )""",
 )
 
 MONITOR_TABLES = (
@@ -47,6 +52,7 @@ MONITOR_TABLES = (
     "monitor_metrics",
     "monitor_queries",
     "monitor_cache",
+    "monitor_breakers",
 )
 
 
@@ -67,12 +73,16 @@ class MonitorDatabase(Database):
         metrics: MetricsRegistry,
         vendor: str = "mysql",
         cache=None,
+        resilience=None,
     ):
         super().__init__(name, vendor)
         self.tracer = tracer
         self.metrics = metrics
         #: optional :class:`repro.cache.CacheManager` feeding monitor_cache
         self.cache = cache
+        #: optional :class:`repro.resilience.ResilienceManager` feeding
+        #: monitor_breakers (one row per circuit breaker)
+        self.resilience = resilience
         self._refreshing = False
         for ddl in _DDL:
             self.execute(ddl)
@@ -138,6 +148,12 @@ class MonitorDatabase(Database):
                     (level, stat, float(value))
                     for level, stat, value in self.cache.stat_rows()
                 ]
+            )
+            breakers = self.catalog.get_table("monitor_breakers")
+            breakers.replace_rows(
+                []
+                if self.resilience is None
+                else [list(row) for row in self.resilience.breaker_rows()]
             )
         finally:
             self._refreshing = False

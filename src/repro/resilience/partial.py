@@ -1,0 +1,45 @@
+"""Per-sub-query failure provenance for graceful partial answers.
+
+When every replica and retry of a sub-query is exhausted, an
+``allow_partial`` query degrades instead of raising: the failed branch
+contributes zero rows, the answer is flagged ``partial=True``, and one
+:class:`SubQueryFailure` per dead branch records exactly what was lost
+— so a client can distinguish "no matching events" from "the events
+mart was unreachable".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SubQueryFailure:
+    """What happened to one sub-query that could not be answered."""
+
+    binding: str
+    database: str
+    logical_table: str
+    error: str  # exception class name
+    message: str
+
+    def as_dict(self) -> dict:
+        """Wire-safe shape (travels in the ``failures`` response key)."""
+        return {
+            "binding": self.binding,
+            "database": self.database,
+            "logical_table": self.logical_table,
+            "error": self.error,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_exception(cls, sub, exc: BaseException) -> "SubQueryFailure":
+        """Provenance for ``sub`` (a decomposed SubQuery) dying with ``exc``."""
+        return cls(
+            binding=sub.binding,
+            database=sub.location.database_name,
+            logical_table=sub.location.logical_table,
+            error=type(exc).__name__,
+            message=str(exc),
+        )

@@ -1,0 +1,69 @@
+"""Deterministic retry policy priced on the simulated clock.
+
+Real grid middleware (Condor's ``JobLeaseDuration``, Globus retry
+handlers) treats retry policy as configuration, not as code sprinkled
+through call sites. Ours is a frozen dataclass: attempts, exponential
+backoff and a per-query deadline budget, every delay charged to the
+virtual clock so benches see exactly what a client would wait.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to try a backend and how long to wait in between.
+
+    ``deadline_ms`` is a *per-query* budget: once the query has been
+    running that long, no further backoff sleeps are scheduled and the
+    last error surfaces immediately (the caller's failover logic may
+    still move on to a replica — the budget bounds waiting, not work).
+    """
+
+    max_attempts: int = 2
+    backoff_base_ms: float = 25.0
+    backoff_multiplier: float = 2.0
+    backoff_cap_ms: float = 2_000.0
+    deadline_ms: float | None = 20_000.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base_ms < 0 or self.backoff_cap_ms < 0:
+            raise ValueError("backoff durations cannot be negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+
+    def backoff_ms(self, failure_count: int) -> float:
+        """Backoff before the next attempt, after ``failure_count`` failures."""
+        if failure_count < 1:
+            raise ValueError(f"failure_count must be >= 1, got {failure_count}")
+        delay = self.backoff_base_ms * self.backoff_multiplier ** (failure_count - 1)
+        return min(self.backoff_cap_ms, delay)
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """When a per-backend circuit breaker trips and how it recovers."""
+
+    failure_threshold: int = 3
+    cooldown_ms: float = 10_000.0
+    half_open_probes: int = 1
+
+    def __post_init__(self):
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.cooldown_ms < 0:
+            raise ValueError("cooldown_ms cannot be negative")
+        if self.half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """The whole failure-handling knob set a service accepts."""
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)

@@ -11,14 +11,19 @@ from repro.rls.server import RLSServer
 class RLSClient:
     """Talks to the central RLS server from one grid host.
 
-    The owning data access service may attach a ``tracer`` and a
-    ``metrics`` registry; lookups then carry spans and hit/miss
-    counters. Both default to off at class level, so a bare client
-    stays allocation-free.
+    The owning data access service may attach a ``tracer``, a
+    ``metrics`` registry, and a ``resilience`` manager; lookups then
+    carry spans, hit/miss counters, and retry/breaker protection. All
+    default to off at class level, so a bare client stays
+    allocation-free.
     """
 
     tracer = None
     metrics = None
+    #: optional :class:`repro.resilience.ResilienceManager` — when set,
+    #: lookups retry transient RLS failures and fast-fail once the
+    #: central server's breaker is open
+    resilience = None
 
     def __init__(self, host: str, network: Network, clock: SimClock, server: RLSServer):
         self.host = host
@@ -57,12 +62,23 @@ class RLSClient:
             else NOOP_SPAN
         )
         with span:
-            request = payload_bytes("rls.lookup", logical_table)
-            self.network.transfer(self.host, self.server.host, request, self.clock)
-            urls = self.server.lookup(logical_table)
-            response = payload_bytes("rls.lookup", urls)
-            self.network.transfer(self.server.host, self.host, response, self.clock)
+            if self.resilience is not None:
+                urls = self.resilience.call(
+                    f"rls:{self.server.host}",
+                    lambda: self._lookup_once(logical_table),
+                )
+            else:
+                urls = self._lookup_once(logical_table)
             span.set("replicas", len(urls))
         self._count("rls.lookups")
         self._count("rls.hits" if urls else "rls.misses")
+        return urls
+
+    def _lookup_once(self, logical_table: str) -> list[str]:
+        """One unprotected wire round-trip to the central RLS."""
+        request = payload_bytes("rls.lookup", logical_table)
+        self.network.transfer(self.host, self.server.host, request, self.clock)
+        urls = self.server.lookup(logical_table)
+        response = payload_bytes("rls.lookup", urls)
+        self.network.transfer(self.server.host, self.host, response, self.clock)
         return urls

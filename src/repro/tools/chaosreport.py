@@ -1,0 +1,243 @@
+"""Chaos/resilience report CLI: ``python -m repro.tools.chaosreport``.
+
+Builds a resilient federation ("events" replicated on two database
+hosts behind one JClarens server), then drives a scripted
+:class:`~repro.resilience.ChaosSchedule` through the virtual clock:
+both replica hosts die mid-workload, stay dead long enough for the
+circuit breakers to open, and come back later. The workload keeps
+querying throughout with ``allow_partial`` on and reports, per phase,
+what the client actually saw::
+
+    python -m repro.tools.chaosreport              # human-readable report
+    python -m repro.tools.chaosreport --json       # machine-readable report
+    python -m repro.tools.chaosreport --json --out BENCH_chaosreport.json
+    python -m repro.tools.chaosreport --self-test  # fixture-free CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core.federation import GridFederation
+from repro.engine.database import Database
+from repro.net import costs
+from repro.resilience import BreakerConfig, ChaosSchedule, ResilienceConfig
+
+DEMO_SQL = "SELECT COUNT(*), SUM(energy) FROM events"
+
+#: workload cadence and chaos timeline (all relative, simulated ms).
+#: The breaker cooldown is stretched past the blackout so the
+#: steady-state window holds pure fast-fails — the (intentionally
+#: expensive) half-open probe happens once, during recovery.
+QUERY_SPACING_MS = 500.0
+BLACKOUT_AT_MS = 1_000.0
+RESTORE_AT_MS = 30_000.0
+RECOVERY_AT_MS = 55_000.0
+BREAKER_COOLDOWN_MS = 30_000.0
+CHAOS_QUERIES = 24
+
+
+def _events_db(name: str, vendor: str = "mysql", n: int = 40) -> Database:
+    db = Database(name, vendor)
+    db.execute("CREATE TABLE EVT (EVENT_ID INT PRIMARY KEY, ENERGY DOUBLE)")
+    for i in range(n):
+        db.execute(f"INSERT INTO EVT VALUES ({i}, {i * 0.5})")
+    return db
+
+
+def build_resilient_federation():
+    """One resilient server, 'events' replicated on two database hosts."""
+    fed = GridFederation()
+    config = ResilienceConfig(
+        breaker=BreakerConfig(cooldown_ms=BREAKER_COOLDOWN_MS)
+    )
+    server = fed.create_server(
+        "jclarens-a", "tier2a.cern.ch", resilience=config, observe=True
+    )
+    primary = _events_db("primary_mart")
+    # the replica runs a different vendor, so failover re-plans the SQL
+    replica = _events_db("replica_mart", vendor="sqlite")
+    fed.attach_database(
+        server, primary, db_host="db1.cern.ch", logical_names={"EVT": "events"}
+    )
+    fed.attach_database(
+        server, replica, db_host="db2.cern.ch", logical_names={"EVT": "events"}
+    )
+    return fed, server
+
+
+def build_report() -> dict:
+    """Healthy baseline -> total blackout -> restore -> recovery."""
+    fed, server = build_resilient_federation()
+    service = server.service
+
+    baseline = service.execute(DEMO_SQL)
+    truth = baseline.rows
+    base = fed.clock.now_ms
+
+    schedule = (
+        ChaosSchedule()
+        .fail_host(base + BLACKOUT_AT_MS, "db1.cern.ch")
+        .fail_host(base + BLACKOUT_AT_MS, "db2.cern.ch")
+        .restore_host(base + RESTORE_AT_MS, "db1.cern.ch")
+        .restore_host(base + RESTORE_AT_MS, "db2.cern.ch")
+    )
+    driver = schedule.driver(fed.network, fed.clock)
+
+    samples = []  # (rel_ms, outcome, latency_ms)
+    for _ in range(CHAOS_QUERIES):
+        driver.tick()
+        t0 = fed.clock.now_ms
+        answer = service.execute(DEMO_SQL, allow_partial=True)
+        latency = fed.clock.now_ms - t0
+        if answer.partial:
+            outcome = "partial"
+        else:
+            outcome = "ok" if answer.rows == truth else "WRONG"
+        samples.append((round(t0 - base, 1), outcome, round(latency, 3)))
+        fed.clock.advance_ms(QUERY_SPACING_MS)
+
+    # steady state: the tail of the blackout, after the breakers opened
+    blackout = [s for s in samples if s[1] == "partial"]
+    steady = blackout[len(blackout) // 2 :]
+
+    # recovery: past the restore + breaker cooldown, probes should heal
+    if fed.clock.now_ms < base + RECOVERY_AT_MS:
+        fed.clock.advance_ms(base + RECOVERY_AT_MS - fed.clock.now_ms)
+    driver.finish()
+    t0 = fed.clock.now_ms
+    recovered = service.execute(DEMO_SQL)
+    recovery_ms = fed.clock.now_ms - t0
+
+    stats = service.stats()
+    return {
+        "sql": DEMO_SQL,
+        "truth_rows": [list(r) for r in truth],
+        "baseline_outcome": "ok",
+        "samples": [
+            {"at_ms": at, "outcome": outcome, "latency_ms": ms}
+            for at, outcome, ms in samples
+        ],
+        "outcomes": {
+            "ok": sum(1 for s in samples if s[1] == "ok"),
+            "partial": sum(1 for s in samples if s[1] == "partial"),
+            "wrong": sum(1 for s in samples if s[1] == "WRONG"),
+        },
+        "partition_timeout_ms": costs.PARTITION_TIMEOUT_MS,
+        "blackout_first_latency_ms": blackout[0][2] if blackout else None,
+        "steady_state_max_latency_ms": max(s[2] for s in steady) if steady else None,
+        "recovery_latency_ms": round(recovery_ms, 3),
+        "recovery_rows_identical": recovered.rows == truth,
+        "resilience": stats["resilience"],
+        "partial_answers": stats.get("partial_answers", 0),
+        "net_partition_timeouts": fed.network.partition_timeouts,
+    }
+
+
+def _print_human(report: dict) -> None:
+    print(f"query: {report['sql']}")
+    print(f"chaos workload: {len(report['samples'])} queries, outcomes "
+          f"{report['outcomes']}")
+    for sample in report["samples"]:
+        print(
+            f"  t+{sample['at_ms']:>8.1f} ms  {sample['outcome']:7}  "
+            f"{sample['latency_ms']:g} ms"
+        )
+    print(
+        f"blackout: first hit {report['blackout_first_latency_ms']} ms, "
+        f"steady state max {report['steady_state_max_latency_ms']} ms "
+        f"(partition timeout {report['partition_timeout_ms']} ms)"
+    )
+    print(
+        f"recovery: {report['recovery_latency_ms']} ms, rows identical: "
+        f"{report['recovery_rows_identical']}"
+    )
+    for key, b in sorted(report["resilience"]["breakers"].items()):
+        print(
+            f"  breaker {key}: state={b['state']} opens={b['opens']} "
+            f"fast_fails={b['fast_fails']}"
+        )
+    print(f"network partition timeouts paid: {report['net_partition_timeouts']}")
+
+
+def _self_test() -> int:
+    """Fixture-free sanity gate over the resilience stack."""
+    report = build_report()
+    outcomes = report["outcomes"]
+    breakers = report["resilience"]["breakers"].values()
+    steady = report["steady_state_max_latency_ms"]
+    checks = [
+        ("no silently wrong answers", outcomes["wrong"] == 0),
+        ("queries succeeded while healthy", outcomes["ok"] >= 1),
+        ("blackout produced flagged partials", outcomes["partial"] >= 3),
+        ("a circuit breaker opened", any(b["opens"] >= 1 for b in breakers)),
+        ("breakers fast-failed", any(b["fast_fails"] >= 1 for b in breakers)),
+        (
+            "steady-state latency beats the partition timeout",
+            steady is not None and steady < report["partition_timeout_ms"],
+        ),
+        (
+            "recovery returned the ground truth",
+            report["recovery_rows_identical"],
+        ),
+        (
+            "recovery latency is healthy",
+            report["recovery_latency_ms"] < report["partition_timeout_ms"],
+        ),
+        (
+            "partition timeouts were counted",
+            report["net_partition_timeouts"] >= 1,
+        ),
+    ]
+    failed = 0
+    for name, ok in checks:
+        if ok:
+            print(f"ok    {name}")
+        else:
+            failed += 1
+            print(f"FAIL  {name}")
+    if failed:
+        print(f"self-test: {failed} of {len(checks)} checks failed")
+        return 1
+    print(f"self-test: all {len(checks)} checks passed")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.chaosreport",
+        description="chaos/resilience report for the demo federation",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    parser.add_argument(
+        "--out", metavar="FILE", help="write the report to FILE instead of stdout"
+    )
+    parser.add_argument(
+        "--self-test", action="store_true",
+        help="run the built-in resilience checks and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return _self_test()
+
+    report = build_report()
+    if args.json:
+        text = json.dumps(report, indent=2, sort_keys=True)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            print(f"wrote {args.out}", file=sys.stderr)
+        else:
+            print(text)
+        return 0
+    _print_human(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -162,6 +162,7 @@ class UnityDriver:
         observe: bool = False,
         cache: bool = False,
         epochs=None,
+        resilience=False,
     ):
         self.dictionary = dictionary
         self.directory = directory
@@ -187,6 +188,17 @@ class UnityDriver:
             from repro.cache import CacheManager
 
             self.cache = CacheManager(clock=clock, metrics=self.metrics, epochs=epochs)
+        # Opt-in retry/backoff + per-database breakers; with resilience
+        # off no manager exists and a dead database fails as before.
+        self.resilience = None
+        if resilience:
+            from repro.resilience import ResilienceConfig, ResilienceManager
+
+            config = resilience if isinstance(resilience, ResilienceConfig) else None
+            self.resilience = ResilienceManager(
+                clock=clock, metrics=self.metrics, config=config,
+                tracer=self.tracer,
+            )
 
     def _span(self, stage: str, **attrs):
         if self.tracer is None:
@@ -209,6 +221,30 @@ class UnityDriver:
         self.network.transfer(from_host, self.host, nbytes, self.clock)
 
     # -- sub-query execution over JDBC ----------------------------------------------
+
+    def _fetch_jdbc(
+        self, sub: SubQuery, params: tuple
+    ) -> tuple[list[str], list[SQLType], list[tuple]]:
+        """One unprotected connect/execute/fetch round-trip."""
+        dialect = get_dialect(sub.location.vendor)
+        connection = connect(
+            sub.location.url,
+            self.user,
+            self.password,
+            directory=self.directory,
+            clock=self.clock,
+        )
+        try:
+            vendor_sql = dialect.render_select(sub.select)
+            cursor = connection.execute(vendor_sql, params)
+            rows = cursor.fetchall()
+            types = cursor.types or [SQLType.text()] * len(cursor.columns)
+            columns = cursor.columns
+        finally:
+            connection.close()
+        binding = self.directory.lookup(sub.location.url)
+        self._transfer_rows(binding.host_name, rows)
+        return columns, types, rows
 
     def run_subquery(
         self, sub: SubQuery, params: tuple
@@ -235,24 +271,13 @@ class UnityDriver:
         with self._span(
             "subquery", binding=sub.binding, database=sub.location.database_name
         ) as span:
-            dialect = get_dialect(sub.location.vendor)
-            connection = connect(
-                sub.location.url,
-                self.user,
-                self.password,
-                directory=self.directory,
-                clock=self.clock,
-            )
-            try:
-                vendor_sql = dialect.render_select(sub.select)
-                cursor = connection.execute(vendor_sql, params)
-                rows = cursor.fetchall()
-                types = cursor.types or [SQLType.text()] * len(cursor.columns)
-                columns = cursor.columns
-            finally:
-                connection.close()
-            binding = self.directory.lookup(sub.location.url)
-            self._transfer_rows(binding.host_name, rows)
+            if self.resilience is not None:
+                columns, types, rows = self.resilience.call(
+                    f"db:{sub.location.database_name}",
+                    lambda: self._fetch_jdbc(sub, params),
+                )
+            else:
+                columns, types, rows = self._fetch_jdbc(sub, params)
             self.metrics.counter("subqueries.jdbc").inc()
             self.metrics.counter("rows_moved").inc(len(rows))
             span.set("route", "jdbc").set("rows", len(rows))
@@ -315,6 +340,8 @@ class UnityDriver:
         prefer_databases: dict[str, str] | None = None,
     ) -> FederatedResult:
         start_ms = self.clock.now_ms if self.clock is not None else 0.0
+        if self.resilience is not None:
+            self.resilience.start_deadline()
         with self._span("query") as span:
             with self._span("decompose"):
                 plan = self.plan(sql, prefer_databases)
