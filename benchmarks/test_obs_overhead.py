@@ -1,0 +1,182 @@
+"""Observability overhead — Table 1 query mix, observe on vs off.
+
+The obs stack (tracer + profiler + archiver + SLO engine) is opt-in and
+must stay cheap enough to leave on: this bench runs the three Table 1
+query classes on two identically-seeded paper testbeds, one with
+``observe=False`` and one with ``observe=True``, and measures the real
+(host) CPU cost of each full mix. Asserted bounds:
+
+* answers are **bit-for-bit identical** in both modes;
+* simulated response times match within ``MAX_SIM_OVERHEAD`` — spans
+  never advance the virtual clock, but remote spans piggyback on
+  forwarded responses and the network model honestly charges their
+  bytes, so distributed queries pay a sub-percent wire tax;
+* the real-time overhead of the observed mix stays under
+  ``MAX_OVERHEAD_RATIO``.
+
+Emits ``benchmarks/results/BENCH_obs.json``. Deliberately avoids the
+pytest-benchmark fixture so this file runs under a plain pytest
+install (CI executes it directly).
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.hep.testbed import build_paper_testbed
+
+from benchmarks.conftest import RESULTS_DIR, fmt_row, write_report
+
+#: generous real-time bound: the observed mix may not cost more than
+#: this multiple of the unobserved mix (typical measured ratio ~1.1-1.5)
+MAX_OVERHEAD_RATIO = 5.0
+#: simulated-time tolerance: piggybacked span bytes on the wire
+MAX_SIM_OVERHEAD = 0.01
+REPS = 5
+
+
+def _query_mix(tb) -> dict[str, str]:
+    return {
+        "local": tb.QUERY_LOCAL,
+        "dist_1srv": tb.QUERY_DISTRIBUTED_1SRV,
+        "dist_2srv": tb.QUERY_DISTRIBUTED_2SRV,
+    }
+
+
+def _run_mix(tb) -> tuple[float, dict]:
+    """One pass over the mix: (real seconds, per-query outcomes)."""
+    service = tb.server1.service
+    outcomes = {}
+    t0 = time.perf_counter()
+    for name, sql in _query_mix(tb).items():
+        clock0 = tb.federation.clock.now_ms
+        answer = service.execute(sql)
+        outcomes[name] = {
+            "rows": answer.rows,
+            "columns": answer.columns,
+            "sim_ms": tb.federation.clock.now_ms - clock0,
+        }
+    return time.perf_counter() - t0, outcomes
+
+
+@pytest.fixture(scope="module")
+def measured():
+    """REPS timed passes per mode on identically-seeded testbeds."""
+    modes = {}
+    for observe in (False, True):
+        tb = build_paper_testbed(observe=observe)
+        times = []
+        outcomes = None
+        for _ in range(REPS):
+            elapsed, outcomes = _run_mix(tb)
+            times.append(elapsed)
+        modes[observe] = {
+            "testbed": tb,
+            # min is the noise-robust estimate of the true cost
+            "best_s": min(times),
+            "times_s": times,
+            "outcomes": outcomes,
+        }
+
+    ratio = modes[True]["best_s"] / modes[False]["best_s"]
+    artifact = {
+        "reps": REPS,
+        "max_overhead_ratio": MAX_OVERHEAD_RATIO,
+        "observe_off_best_ms": round(modes[False]["best_s"] * 1e3, 3),
+        "observe_on_best_ms": round(modes[True]["best_s"] * 1e3, 3),
+        "overhead_ratio": round(ratio, 3),
+        "queries": {
+            name: {
+                "sim_ms_off": round(modes[False]["outcomes"][name]["sim_ms"], 3),
+                "sim_ms_on": round(modes[True]["outcomes"][name]["sim_ms"], 3),
+                "rows_identical": (
+                    modes[False]["outcomes"][name]["rows"]
+                    == modes[True]["outcomes"][name]["rows"]
+                ),
+            }
+            for name in modes[False]["outcomes"]
+        },
+        "observed_server": {
+            "profiles_recorded": modes[True]["testbed"]
+            .server1.service.profiler.profiled,
+            "archive_snapshots": modes[True]["testbed"]
+            .server1.service.archiver.snapshots,
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_obs.json"
+    path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+
+    widths = [10, 11, 11, 10]
+    lines = [
+        fmt_row(["query", "sim ms off", "sim ms on", "identical"], widths),
+        *[
+            fmt_row(
+                [
+                    name,
+                    q["sim_ms_off"],
+                    q["sim_ms_on"],
+                    str(q["rows_identical"]),
+                ],
+                widths,
+            )
+            for name, q in artifact["queries"].items()
+        ],
+        "",
+        f"real time (best of {REPS} mixes): "
+        f"off {artifact['observe_off_best_ms']} ms, "
+        f"on {artifact['observe_on_best_ms']} ms "
+        f"-> {artifact['overhead_ratio']}x (bound {MAX_OVERHEAD_RATIO}x)",
+        f"artifact: {path.name}",
+    ]
+    write_report(
+        "obs_overhead", "Observability Overhead — Observe On vs Off", lines
+    )
+    return modes, artifact
+
+
+class TestObsOverhead:
+    def test_rows_bit_for_bit_identical(self, measured):
+        modes, _ = measured
+        for name in modes[False]["outcomes"]:
+            off = modes[False]["outcomes"][name]
+            on = modes[True]["outcomes"][name]
+            assert off["rows"] == on["rows"], name
+            assert off["columns"] == on["columns"], name
+
+    def test_observation_nearly_free_in_simulated_time(self, measured):
+        """Local queries: exactly free. Distributed: only the wire tax."""
+        modes, _ = measured
+        for name in modes[False]["outcomes"]:
+            off = modes[False]["outcomes"][name]["sim_ms"]
+            on = modes[True]["outcomes"][name]["sim_ms"]
+            if name == "local":
+                assert on == pytest.approx(off, abs=1e-9), name
+            else:
+                assert on == pytest.approx(off, rel=MAX_SIM_OVERHEAD), name
+
+    def test_real_overhead_under_bound(self, measured):
+        _, artifact = measured
+        assert artifact["overhead_ratio"] < MAX_OVERHEAD_RATIO, artifact
+
+    def test_unobserved_service_allocates_nothing(self, measured):
+        modes, _ = measured
+        service = modes[False]["testbed"].server1.service
+        assert service.tracer is None
+        assert service.profiler is None
+        assert service.archiver is None
+        assert service.slo is None
+        assert service.monitor is None
+
+    def test_observed_stack_actually_worked(self, measured):
+        _, artifact = measured
+        observed = artifact["observed_server"]
+        assert observed["profiles_recorded"] >= 3 * REPS
+        assert observed["archive_snapshots"] >= 1
+
+    def test_artifact_emitted(self, measured):
+        artifact = json.loads((RESULTS_DIR / "BENCH_obs.json").read_text())
+        assert artifact["overhead_ratio"] < artifact["max_overhead_ratio"]
+        for entry in artifact["queries"].values():
+            assert entry["rows_identical"]

@@ -87,6 +87,7 @@ class GridFederation:
         observe: bool = False,
         cache: bool = False,
         resilience=False,
+        slos=None,
     ) -> ServerHandle:
         """Start a JClarens server with a data access service on ``host``.
 
@@ -103,6 +104,10 @@ class GridFederation:
         :class:`~repro.resilience.ResilienceConfig`) the service gets
         retry/backoff, per-backend circuit breakers and graceful
         partial answers (:mod:`repro.resilience`).
+
+        ``slos`` (a list of :class:`repro.obs.slo.SLO`, observing
+        servers only) replaces the default latency/error objectives
+        driving burn-rate alerts and ``dataaccess.health``.
         """
         self.add_host(host, tier)
         if cache and self.epochs is None:
@@ -125,6 +130,7 @@ class GridFederation:
             cache=cache,
             epochs=self.epochs,
             resilience=resilience,
+            slos=slos,
         )
         server.register_service(service)
         # server-side histogramming rides alongside the data access service

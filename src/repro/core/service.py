@@ -59,6 +59,9 @@ class QueryAnswer:
     partial: bool = False
     #: per-failed-sub-query provenance (see resilience.SubQueryFailure)
     failures: list = field(default_factory=list)
+    #: per-operator cost breakdown (obs.profiler.QueryProfile) when the
+    #: serving service observes; None otherwise
+    profile: object = None
 
     @property
     def row_count(self) -> int:
@@ -84,7 +87,7 @@ class DataAccessService(ClarensService):
     service_name = "dataaccess"
     exposed = (
         "query", "describe", "tables", "ping", "plugin", "explain", "stats",
-        "lint", "trace", "metrics",
+        "lint", "trace", "metrics", "profile", "health",
     )
 
     def __init__(
@@ -102,6 +105,7 @@ class DataAccessService(ClarensService):
         cache: bool = False,
         epochs=None,
         resilience=False,
+        slos=None,
     ):
         self.preflight = preflight
         self.server_ = server  # 'server' attr is set by register_service too
@@ -172,20 +176,40 @@ class DataAccessService(ClarensService):
             )
             if rls_client is not None:
                 rls_client.resilience = self.resilience
-        # Span tracing + R-GMA monitor tables are opt-in: with observe
-        # off, no tracer, no monitor, and no span objects ever allocated.
+        # Span tracing + R-GMA monitor tables + the obs v2 analysis
+        # layers (profiler, archiver, SLO engine) are opt-in: with
+        # observe off, none of these objects is ever allocated.
         self.tracer: Tracer | None = None
         self.monitor = None
+        self.profiler = None
+        self.archiver = None
+        self.slo = None
         if observe:
+            from repro.obs.archive import MetricsArchiver
             from repro.obs.monitor import MonitorDatabase
+            from repro.obs.profiler import QueryProfiler
+            from repro.obs.slo import SLOEngine
 
             self.tracer = Tracer(server.clock, server.name)
+            self.profiler = QueryProfiler(server.clock)
+            self.archiver = MetricsArchiver(self.metrics, server.clock)
+            self.slo = SLOEngine(
+                self.archiver,
+                clock=server.clock,
+                slos=slos,
+                resilience=self.resilience,
+                cache=self.cache,
+            )
             self.monitor = MonitorDatabase(
                 f"monitor_{server.name}",
                 tracer=self.tracer,
                 metrics=self.metrics,
                 cache=self.cache,
                 resilience=self.resilience,
+                clock=server.clock,
+                profiler=self.profiler,
+                archiver=self.archiver,
+                slo=self.slo,
             )
             server.network.add_observer(self._on_transfer)
             if rls_client is not None:
@@ -226,6 +250,17 @@ class DataAccessService(ClarensService):
         if self.tracer is None:
             return NOOP_SPAN
         return self.tracer.span(stage, **attrs)
+
+    def _observe_tick(self) -> None:
+        """Archive a metrics snapshot when the cadence interval elapsed.
+
+        The virtual clock has no background threads — like the §4.9
+        schema poll, the archiver's cadence fires lazily from the query
+        path. Each snapshot triggers one SLO evaluation pass so burn
+        alerts track the archive, not the instant.
+        """
+        if self.archiver is not None and self.archiver.maybe_snapshot():
+            self.slo.evaluate()
 
     def _on_transfer(self, src: str, dst: str, nbytes: int, ms: float) -> None:
         """Network observer: account link traffic touching this host."""
@@ -376,12 +411,18 @@ class DataAccessService(ClarensService):
         tracer = self.tracer
         start_ms = self.clock.now_ms if self.clock is not None else 0.0
         if tracer is None:
-            answer = self._execute_query(
-                select, params, no_forward, None, plan_key, cached_plan,
-                allow_partial,
-            )
+            try:
+                answer = self._execute_query(
+                    select, params, no_forward, None, plan_key, cached_plan,
+                    allow_partial,
+                )
+            except Exception:
+                self.metrics.counter("query_errors").inc()
+                raise
             self._account_query(answer, start_ms)
             return answer
+        self._observe_tick()
+        span_mark = len(tracer.spans)
         with tracer.span("query") as root:
             root.set("sql", select.unparse())
             try:
@@ -390,6 +431,7 @@ class DataAccessService(ClarensService):
                     allow_partial,
                 )
             except Exception as exc:
+                self.metrics.counter("query_errors").inc()
                 duration = (
                     self.clock.now_ms - start_ms if self.clock is not None else 0.0
                 )
@@ -403,8 +445,10 @@ class DataAccessService(ClarensService):
                         duration_ms=duration,
                         servers=0,
                         status=f"error: {type(exc).__name__}",
+                        end_ms=start_ms + duration,
                     )
                 )
+                self._observe_tick()
                 raise
         duration = self.clock.now_ms - start_ms if self.clock is not None else 0.0
         self._account_query(answer, start_ms)
@@ -418,8 +462,18 @@ class DataAccessService(ClarensService):
                 duration_ms=duration,
                 servers=answer.servers_accessed,
                 status="partial" if answer.partial else "ok",
+                end_ms=start_ms + duration,
             )
         )
+        if self.profiler is not None and root.parent_id is None:
+            # fold this query's finished span tree (imported remote
+            # spans included) into the per-operator cost model
+            answer.profile = self.profiler.record(
+                root,
+                [s for s in tracer.spans[span_mark:] if s.trace_id == root.trace_id],
+                shape=select.unparse(),
+            )
+        self._observe_tick()
         return answer
 
     def _account_query(self, answer: QueryAnswer, start_ms: float) -> None:
@@ -988,6 +1042,36 @@ class DataAccessService(ClarensService):
         if not tid:
             return []
         return [s.as_dict() for s in self.tracer.spans_for(tid)]
+
+    def profile(self, trace_id: str = ""):
+        """Clarens method: per-operator cost profile of one query.
+
+        EXPLAIN ANALYZE for the federation: each stage of the traced
+        query with calls, self-time and cumulative time (simulated ms),
+        plus the folded-stack lines a flame-graph renderer eats
+        directly. With no ``trace_id``, returns the most recent
+        profiled query. Returns ``{}`` when the server is not
+        observing (or the trace was not retained).
+        """
+        if self.profiler is None:
+            return {}
+        prof = self.profiler.get(trace_id or None)
+        return prof.as_dict() if prof is not None else {}
+
+    def health(self):
+        """Clarens method: single RED-style verdict for this server.
+
+        Combines SLO burn-rate alerts, circuit-breaker states and cache
+        hit rates into one ``ok`` / ``degraded`` / ``critical`` answer
+        — the question an operator's dashboard actually asks. Forces a
+        fresh archive snapshot + SLO evaluation so the verdict reflects
+        *now*, not the last cadence tick.
+        """
+        if self.slo is None:
+            return {"observed": False, "verdict": "unobserved"}
+        self.archiver.snapshot()
+        self.slo.evaluate()
+        return self.slo.health()
 
     def explain(self, sql: str):
         """Clarens method: the federated plan for ``sql``, not executed.

@@ -53,6 +53,18 @@ class Histogram:
         return len(self.values)
 
     @property
+    def empty(self) -> bool:
+        """True when nothing was ever observed.
+
+        SLO math must distinguish "p99 = 0 ms" from "no samples": an
+        empty histogram's ``percentile`` returns its *default* (0.0 for
+        backward compatibility), so callers doing objective arithmetic
+        check ``empty`` (or pass ``default=None``) instead of trusting
+        a silent zero.
+        """
+        return not self.values
+
+    @property
     def sum(self) -> float:
         return float(sum(self.values))
 
@@ -68,12 +80,18 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.values else 0.0
 
-    def percentile(self, p: float) -> float:
-        """Nearest-rank percentile; p in (0, 100]. Empty histogram → 0."""
-        if not self.values:
-            return 0.0
+    def percentile(self, p: float, default: float | None = 0.0):
+        """Nearest-rank percentile; p in (0, 100].
+
+        An empty histogram returns ``default`` — 0.0 by default so
+        existing displays keep working, but callers that must not
+        mistake "no data" for "0 ms" pass ``default=None`` (or check
+        :attr:`empty` first).
+        """
         if not 0 < p <= 100:
             raise ValueError(f"percentile must be in (0, 100], got {p}")
+        if not self.values:
+            return default
         ordered = sorted(self.values)
         rank = max(1, math.ceil(p / 100.0 * len(ordered)))
         return ordered[rank - 1]

@@ -12,6 +12,13 @@ them. Because it registers through the ordinary
 forwarding) applies unchanged: clients can ``SELECT stage,
 AVG(duration_ms) FROM monitor_spans GROUP BY stage`` — locally, or
 against a *remote* peer's monitor tables discovered through the RLS.
+
+R-GMA also pairs producers with **archivers** retaining history; the
+``monitor_history`` (archived metric buckets at every rollup
+resolution), ``monitor_profile`` (per-operator costs of the slowest
+retained queries) and ``monitor_alerts`` (SLO burn-rate transitions)
+tables publish that side. Every monitor table carries the same
+``ts_ms DOUBLE`` simclock timestamp column so history joins line up.
 """
 
 from __future__ import annotations
@@ -20,30 +27,51 @@ from repro.engine.database import Database
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 
-#: DDL for the three monitor tables (lower-case physical names double as
+#: the simclock timestamp column every monitor table carries
+TIMESTAMP_COLUMN = "ts_ms"
+TIMESTAMP_TYPE = "DOUBLE"
+
+#: DDL for the monitor tables (lower-case physical names double as
 #: the logical names the federation publishes).
 _DDL = (
     """CREATE TABLE monitor_spans (
         trace_id VARCHAR(64), span_id VARCHAR(64), parent_id VARCHAR(64),
         stage VARCHAR(32), server VARCHAR(64),
         start_ms DOUBLE, end_ms DOUBLE, duration_ms DOUBLE,
-        route VARCHAR(16), row_count INT, error VARCHAR(200)
+        route VARCHAR(16), row_count INT, error VARCHAR(200),
+        ts_ms DOUBLE
     )""",
     """CREATE TABLE monitor_metrics (
-        metric VARCHAR(100), kind VARCHAR(16), stat VARCHAR(8), value DOUBLE
+        metric VARCHAR(100), kind VARCHAR(16), stat VARCHAR(8), value DOUBLE,
+        ts_ms DOUBLE
     )""",
     """CREATE TABLE monitor_queries (
         trace_id VARCHAR(64), server VARCHAR(64), sql_text VARCHAR(500),
         distributed INT, row_count INT, duration_ms DOUBLE,
-        servers INT, status VARCHAR(80)
+        servers INT, status VARCHAR(80), ts_ms DOUBLE
     )""",
     """CREATE TABLE monitor_cache (
-        cache_level VARCHAR(16), stat VARCHAR(20), value DOUBLE
+        cache_level VARCHAR(16), stat VARCHAR(20), value DOUBLE, ts_ms DOUBLE
     )""",
     """CREATE TABLE monitor_breakers (
         breaker_key VARCHAR(120), state VARCHAR(12),
         consecutive_failures INT, opens INT, fast_fails INT,
-        opened_at_ms DOUBLE
+        opened_at_ms DOUBLE, ts_ms DOUBLE
+    )""",
+    """CREATE TABLE monitor_history (
+        ts_ms DOUBLE, metric VARCHAR(100), kind VARCHAR(16), res_ms DOUBLE,
+        samples INT, total DOUBLE, vmin DOUBLE, vmax DOUBLE,
+        mean_val DOUBLE, last_val DOUBLE, bad INT
+    )""",
+    """CREATE TABLE monitor_profile (
+        ts_ms DOUBLE, trace_id VARCHAR(64), shape VARCHAR(500),
+        server VARCHAR(64), stage VARCHAR(32), op_server VARCHAR(64),
+        calls INT, self_ms DOUBLE, cum_ms DOUBLE, total_ms DOUBLE
+    )""",
+    """CREATE TABLE monitor_alerts (
+        ts_ms DOUBLE, slo VARCHAR(64), severity VARCHAR(12),
+        state VARCHAR(12), burn_rate DOUBLE, window_ms DOUBLE,
+        message VARCHAR(200)
     )""",
 )
 
@@ -53,6 +81,9 @@ MONITOR_TABLES = (
     "monitor_queries",
     "monitor_cache",
     "monitor_breakers",
+    "monitor_history",
+    "monitor_profile",
+    "monitor_alerts",
 )
 
 
@@ -63,7 +94,8 @@ class MonitorDatabase(Database):
     so ``SELECT COUNT(*) FROM monitor_spans`` executed through the
     federation returns whatever the tracer holds at fetch time —
     including the spans of the monitoring query itself that finished
-    before the fetch.
+    before the fetch. The archiver/profiler/SLO tables are the
+    R-GMA *archiver* side: retained history, not just the instant.
     """
 
     def __init__(
@@ -74,6 +106,10 @@ class MonitorDatabase(Database):
         vendor: str = "mysql",
         cache=None,
         resilience=None,
+        clock=None,
+        profiler=None,
+        archiver=None,
+        slo=None,
     ):
         super().__init__(name, vendor)
         self.tracer = tracer
@@ -83,9 +119,21 @@ class MonitorDatabase(Database):
         #: optional :class:`repro.resilience.ResilienceManager` feeding
         #: monitor_breakers (one row per circuit breaker)
         self.resilience = resilience
+        #: the simclock stamping every row's ``ts_ms``
+        self.clock = clock
+        #: optional :class:`repro.obs.profiler.QueryProfiler` → monitor_profile
+        self.profiler = profiler
+        #: optional :class:`repro.obs.archive.MetricsArchiver` → monitor_history
+        self.archiver = archiver
+        #: optional :class:`repro.obs.slo.SLOEngine` → monitor_alerts
+        self.slo = slo
         self._refreshing = False
         for ddl in _DDL:
             self.execute(ddl)
+
+    @property
+    def now_ms(self) -> float:
+        return self.clock.now_ms if self.clock is not None else 0.0
 
     # -- refresh-on-read ---------------------------------------------------------
 
@@ -95,8 +143,9 @@ class MonitorDatabase(Database):
         return super().resolve_table(name)
 
     def refresh(self) -> None:
-        """Regenerate all three tables from the live tracer/registry."""
+        """Regenerate every monitor table from the live telemetry stack."""
         self._refreshing = True
+        now = self.now_ms
         try:
             spans = self.catalog.get_table("monitor_spans")
             spans.replace_rows(
@@ -113,6 +162,7 @@ class MonitorDatabase(Database):
                         _text_or_none(s.attrs.get("route")),
                         _int_or_none(s.attrs.get("rows")),
                         s.error,
+                        float(s.end_ms if s.end_ms is not None else s.start_ms),
                     )
                     for s in self.tracer.spans
                 ]
@@ -120,7 +170,7 @@ class MonitorDatabase(Database):
             metrics = self.catalog.get_table("monitor_metrics")
             metrics.replace_rows(
                 [
-                    (metric, kind, stat, float(value))
+                    (metric, kind, stat, float(value), now)
                     for metric, kind, stat, value in self.metrics.snapshot_rows()
                 ]
             )
@@ -136,6 +186,7 @@ class MonitorDatabase(Database):
                         float(q.duration_ms),
                         int(q.servers),
                         q.status,
+                        float(q.end_ms),
                     )
                     for q in self.tracer.queries
                 ]
@@ -145,7 +196,7 @@ class MonitorDatabase(Database):
                 []
                 if self.cache is None
                 else [
-                    (level, stat, float(value))
+                    (level, stat, float(value), now)
                     for level, stat, value in self.cache.stat_rows()
                 ]
             )
@@ -153,7 +204,21 @@ class MonitorDatabase(Database):
             breakers.replace_rows(
                 []
                 if self.resilience is None
-                else [list(row) for row in self.resilience.breaker_rows()]
+                else [
+                    (*row, now) for row in self.resilience.breaker_rows()
+                ]
+            )
+            history = self.catalog.get_table("monitor_history")
+            history.replace_rows(
+                [] if self.archiver is None else self.archiver.history_rows()
+            )
+            profile = self.catalog.get_table("monitor_profile")
+            profile.replace_rows(
+                [] if self.profiler is None else self.profiler.profile_rows()
+            )
+            alerts = self.catalog.get_table("monitor_alerts")
+            alerts.replace_rows(
+                [] if self.slo is None else self.slo.alert_rows()
             )
         finally:
             self._refreshing = False

@@ -129,7 +129,9 @@ class QueryRecord:
     row_count: int
     duration_ms: float
     servers: int
-    status: str  # 'ok' or 'error: <type>'
+    status: str  # 'ok', 'partial' or 'error: <type>'
+    #: simclock instant the query finished (the row's ``ts_ms``)
+    end_ms: float = 0.0
 
 
 class Tracer:

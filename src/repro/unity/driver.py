@@ -177,10 +177,13 @@ class UnityDriver:
 
         self.metrics = MetricsRegistry()
         self.tracer = None
+        self.profiler = None
         if observe:
+            from repro.obs.profiler import QueryProfiler
             from repro.obs.trace import Tracer
 
             self.tracer = Tracer(clock, host or "unity")
+            self.profiler = QueryProfiler(clock)
         # Opt-in multi-level caching (plan + sub-results); with cache
         # off no cache objects exist and execution is the prototype's.
         self.cache = None
@@ -342,6 +345,7 @@ class UnityDriver:
         start_ms = self.clock.now_ms if self.clock is not None else 0.0
         if self.resilience is not None:
             self.resilience.start_deadline()
+        span_mark = len(self.tracer.spans) if self.tracer is not None else 0
         with self._span("query") as span:
             with self._span("decompose"):
                 plan = self.plan(sql, prefer_databases)
@@ -350,4 +354,15 @@ class UnityDriver:
         self.metrics.counter("queries").inc()
         if self.clock is not None:
             self.metrics.histogram("query_ms").observe(self.clock.now_ms - start_ms)
+        if self.profiler is not None and span.trace_id is not None:
+            shape = sql if isinstance(sql, str) else sql.unparse()
+            self.profiler.record(
+                span,
+                [
+                    s
+                    for s in self.tracer.spans[span_mark:]
+                    if s.trace_id == span.trace_id
+                ],
+                shape=shape,
+            )
         return result

@@ -51,6 +51,16 @@ class TestHistogramPercentiles:
         assert h.p99 == 0.0
         assert h.stats()["count"] == 0.0
 
+    def test_empty_histogram_explicit_semantics(self):
+        """Regression: 'no data' must be distinguishable from 'p99=0'."""
+        h = Histogram("ms")
+        assert h.empty is True
+        assert h.percentile(99, default=None) is None
+        assert h.percentile(99) == 0.0  # display default, unchanged
+        h.observe(5.0)
+        assert h.empty is False
+        assert h.percentile(99, default=None) == 5.0
+
     def test_invalid_percentile_raises(self):
         h = Histogram("ms")
         h.observe(1.0)
@@ -58,6 +68,14 @@ class TestHistogramPercentiles:
             h.percentile(0)
         with pytest.raises(ValueError):
             h.percentile(101)
+
+    def test_invalid_percentile_raises_even_when_empty(self):
+        """The range check wins over the empty-histogram default."""
+        h = Histogram("ms")
+        with pytest.raises(ValueError):
+            h.percentile(0)
+        with pytest.raises(ValueError):
+            h.percentile(101, default=None)
 
 
 class TestWireSafety:

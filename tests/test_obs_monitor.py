@@ -5,7 +5,11 @@ import pytest
 from repro.core import GridFederation
 from repro.engine import Database
 from repro.lint import DictionarySchema, lint_sql
-from repro.obs.monitor import MONITOR_TABLES
+from repro.obs.monitor import (
+    MONITOR_TABLES,
+    TIMESTAMP_COLUMN,
+    TIMESTAMP_TYPE,
+)
 
 
 def make_events_db(name="mart", n=5):
@@ -119,3 +123,68 @@ class TestMonitorSchema:
         # a refresh while refreshing must not re-enter (or deadlock)
         monitor.refresh()
         assert monitor._refreshing is False
+
+    def test_every_monitor_table_has_the_unified_timestamp(self, observed):
+        """Schema unification: one simclock ts column, same name+type
+        in every monitor table, so history joins line up."""
+        fed, server = observed
+        monitor = server.service.monitor
+        for name in MONITOR_TABLES:
+            columns = monitor.catalog.get_table(name).columns
+            ts = [c for c in columns if c.name == TIMESTAMP_COLUMN]
+            assert len(ts) == 1, name
+            assert ts[0].type.kind.value == TIMESTAMP_TYPE, name
+
+    def test_timestamp_column_queryable_on_every_table(self, observed):
+        fed, server = observed
+        server.service.execute("SELECT COUNT(*) FROM events")
+        for name in MONITOR_TABLES:
+            answer = server.service.execute(
+                f"SELECT COUNT(*) FROM {name} WHERE {TIMESTAMP_COLUMN} >= 0"
+            )
+            assert answer.rows[0][0] >= 0, name
+
+    def test_span_and_query_rows_stamp_their_finish_instant(self, observed):
+        fed, server = observed
+        server.service.execute("SELECT COUNT(*) FROM events")
+        answer = server.service.execute(
+            "SELECT COUNT(*) FROM monitor_spans WHERE ts_ms <> end_ms"
+        )
+        assert answer.rows[0][0] == 0
+        record = server.service.tracer.queries[0]
+        answer = server.service.execute(
+            "SELECT ts_ms, duration_ms FROM monitor_queries"
+        )
+        assert answer.rows[0][0] == pytest.approx(record.end_ms)
+
+
+class TestObserveOffAllocatesNothing:
+    """observe=False: no obs objects exist, answers bit-for-bit equal."""
+
+    def run_query(self, observe):
+        fed = GridFederation()
+        server = fed.create_server("jc1", "pc1", observe=observe)
+        fed.attach_database(
+            server, make_events_db(), logical_names={"EVT": "events"}
+        )
+        answer = server.service.execute(
+            "SELECT event_id, energy FROM events ORDER BY event_id"
+        )
+        return server.service, answer
+
+    def test_no_instrumentation_objects_when_off(self):
+        service, answer = self.run_query(observe=False)
+        assert service.tracer is None
+        assert service.monitor is None
+        assert service.profiler is None
+        assert service.archiver is None
+        assert service.slo is None
+        assert answer.profile is None
+
+    def test_rows_bit_for_bit_identical_either_way(self):
+        _, off = self.run_query(observe=False)
+        _, on = self.run_query(observe=True)
+        assert off.rows == on.rows
+        assert off.columns == on.columns
+        assert off.types == on.types
+        assert on.profile is not None
